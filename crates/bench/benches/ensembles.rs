@@ -1,0 +1,70 @@
+//! Criterion bench for E4: wall-clock training cost of the four ensemble
+//! strategies at identical member count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dl_ensemble::{independent, mothernet, snapshot, treenet, MotherNetConfig, TreeNetConfig};
+use dl_nn::TrainConfig;
+use dl_tensor::init;
+
+fn bench_strategies(c: &mut Criterion) {
+    let data = dl_data::blobs(200, 3, 8, 6.0, 0.5, 0);
+    let eval = dl_data::blobs(60, 3, 8, 6.0, 0.5, 1);
+    let mut group = c.benchmark_group("ensemble_train_3members");
+    group.sample_size(10);
+    group.bench_function("independent", |b| {
+        b.iter(|| {
+            independent(
+                &data,
+                &eval,
+                &[8, 16, 3],
+                3,
+                &TrainConfig {
+                    epochs: 6,
+                    ..TrainConfig::default()
+                },
+                &mut init::rng(2),
+            )
+        })
+    });
+    group.bench_function("snapshot", |b| {
+        b.iter(|| snapshot(&data, &eval, &[8, 16, 3], 3, 6, 3, &mut init::rng(3)))
+    });
+    group.bench_function("treenet", |b| {
+        b.iter(|| {
+            treenet(
+                &data,
+                &eval,
+                &TreeNetConfig {
+                    trunk_dims: vec![8, 16],
+                    branch_dims: vec![16, 8, 3],
+                    members: 3,
+                    epochs: 6,
+                    batch_size: 32,
+                    seed: 4,
+                },
+                &mut init::rng(4),
+            )
+        })
+    });
+    group.bench_function("mothernet", |b| {
+        b.iter(|| {
+            mothernet(
+                &data,
+                &eval,
+                &MotherNetConfig {
+                    member_hidden: vec![vec![12], vec![16], vec![20]],
+                    mother_epochs: 6,
+                    finetune_epochs: 2,
+                    batch_size: 32,
+                    seed: 5,
+                    hatch_noise: 0.01,
+                },
+                &mut init::rng(5),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for E11: actual lookup latency, learned index vs
+//! B-tree vs plain binary search, per key distribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl_data::KeyDistribution;
+use dl_learneddb::{BTreeIndex, RecursiveModelIndex};
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_lookup_200k");
+    for dist in [KeyDistribution::Uniform, KeyDistribution::Clustered] {
+        let keys = dist.generate(200_000, 7);
+        let bt = BTreeIndex::build_default(keys.clone());
+        let rmi = RecursiveModelIndex::build(keys.clone(), 1024);
+        let probes: Vec<u64> = keys.iter().step_by(37).copied().collect();
+        group.bench_with_input(
+            BenchmarkId::new("btree", dist.name()),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &k in probes {
+                        if bt.lookup(std::hint::black_box(k)).0.is_some() {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rmi", dist.name()),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &k in probes {
+                        if rmi.lookup(std::hint::black_box(k)).0.is_some() {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", dist.name()),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for &k in probes {
+                        if keys.binary_search(std::hint::black_box(&k)).is_ok() {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

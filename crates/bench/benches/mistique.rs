@@ -1,0 +1,61 @@
+//! Criterion bench for E19: intermediate-store put/get throughput vs a
+//! naive full-precision store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dl_interpret::store::IntermediateKey;
+use dl_interpret::IntermediateStore;
+use dl_tensor::init;
+
+fn bench_store(c: &mut Criterion) {
+    let mut rng = init::rng(0);
+    let acts = init::uniform([500, 64], -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("mistique_store");
+    group.bench_function("put_500x64", |b| {
+        let mut epoch = 0u32;
+        let mut store = IntermediateStore::new();
+        b.iter(|| {
+            store.put(
+                IntermediateKey {
+                    snapshot: epoch,
+                    layer: 0,
+                },
+                std::hint::black_box(&acts),
+            );
+            epoch += 1;
+        })
+    });
+    let mut store = IntermediateStore::new();
+    store.put(
+        IntermediateKey {
+            snapshot: 0,
+            layer: 0,
+        },
+        &acts,
+    );
+    group.bench_function("get_full", |b| {
+        b.iter(|| {
+            store.get(std::hint::black_box(IntermediateKey {
+                snapshot: 0,
+                layer: 0,
+            }))
+        })
+    });
+    group.bench_function("get_row", |b| {
+        b.iter(|| {
+            store.get_row(
+                std::hint::black_box(IntermediateKey {
+                    snapshot: 0,
+                    layer: 0,
+                }),
+                250,
+            )
+        })
+    });
+    group.bench_function("naive_clone_full_precision", |b| {
+        b.iter(|| std::hint::black_box(&acts).clone())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E7: the cost of the optimization step itself
+//! (simulator evaluations + MCMC search) at different budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl_distributed::{optimize_placement, Cluster, Device, Link, Placement, PlacementSearchConfig};
+use dl_tensor::init;
+
+fn bench_search(c: &mut Criterion) {
+    let net = dl_nn::Network::mlp(
+        &[256, 512, 128, 512, 64, 256, 32, 128, 16, 32, 10],
+        &mut init::rng(0),
+    );
+    let costs = net.layer_costs(64);
+    let cluster = Cluster::homogeneous(4, Device::accelerator(), Link::nvlink());
+    let mut group = c.benchmark_group("placement");
+    group.bench_function("simulate_one_strategy", |b| {
+        let p = Placement::round_robin(costs.len(), 4);
+        b.iter(|| p.simulate(std::hint::black_box(&cluster), std::hint::black_box(&costs)))
+    });
+    for iters in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("mcmc", iters), &iters, |b, &iters| {
+            b.iter(|| {
+                optimize_placement(
+                    &cluster,
+                    &costs,
+                    &PlacementSearchConfig {
+                        iterations: iters,
+                        seed: 1,
+                        ..PlacementSearchConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E1: quantization/dequantization throughput and the
+//! inference cost of quantized vs fp32 models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl_compress::{quantize_network, CodebookQuantizer, QuantScheme, QuantizedTensor};
+use dl_tensor::init;
+
+fn bench_quantize_tensor(c: &mut Criterion) {
+    let mut rng = init::rng(0);
+    let t = init::normal([256 * 256], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("quantize_tensor_64k");
+    for bits in [8u8, 4, 2] {
+        group.bench_with_input(BenchmarkId::new("affine", bits), &bits, |b, &bits| {
+            b.iter(|| QuantizedTensor::quantize(std::hint::black_box(&t), bits))
+        });
+    }
+    group.bench_function("kmeans16_fit", |b| {
+        b.iter(|| CodebookQuantizer::fit(std::hint::black_box(&t), 16))
+    });
+    group.finish();
+}
+
+fn bench_quantized_inference(c: &mut Criterion) {
+    let mut rng = init::rng(1);
+    let net = dl_nn::Network::mlp(&[144, 64, 32, 10], &mut rng);
+    let x = init::uniform([64, 144], 0.0, 1.0, &mut rng);
+    let (q8, _) = quantize_network(&net, QuantScheme::Affine { bits: 8 });
+    let mut group = c.benchmark_group("inference_batch64");
+    group.bench_function("fp32", |b| {
+        let mut n = net.clone();
+        b.iter(|| n.forward(std::hint::black_box(&x), false))
+    });
+    group.bench_function("int8-dequantized", |b| {
+        let mut n = q8.clone();
+        b.iter(|| n.forward(std::hint::black_box(&x), false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize_tensor, bench_quantized_inference);
+criterion_main!(benches);

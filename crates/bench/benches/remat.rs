@@ -1,0 +1,28 @@
+//! Criterion bench for E9: cost of computing checkpointing schedules
+//! (the optimization-time side of the memory tradeoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl_memsched::{optimal_schedule, sqrt_schedule, store_all};
+use dl_tensor::init;
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remat_schedule");
+    for layers in [16usize, 32, 64] {
+        let mut dims = vec![128usize];
+        dims.extend(std::iter::repeat_n(128, layers));
+        dims.push(10);
+        let net = dl_nn::Network::mlp(&dims, &mut init::rng(0));
+        let costs = net.layer_costs(32);
+        let budget = store_all(&costs).peak_bytes / 3;
+        group.bench_with_input(BenchmarkId::new("sqrt", layers), &costs, |b, costs| {
+            b.iter(|| sqrt_schedule(std::hint::black_box(costs)))
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_dp", layers), &costs, |b, costs| {
+            b.iter(|| optimal_schedule(std::hint::black_box(costs), budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for E17: t-SNE and PCA runtime scaling with point count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dl_interpret::{pca, tsne, TsneConfig};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dim_reduction");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let (x, _) = dl_data::high_dim_clusters(n, 4, 32, 0);
+        group.bench_with_input(BenchmarkId::new("tsne_100it", n), &x, |b, x| {
+            b.iter(|| {
+                tsne(
+                    std::hint::black_box(x),
+                    &TsneConfig {
+                        perplexity: 10.0,
+                        iterations: 100,
+                        ..TsneConfig::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pca", n), &x, |b, x| {
+            b.iter(|| pca(std::hint::black_box(x), 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! The experiment runner: `exp <id>...` or `exp all`.
+//!
+//! Prints each experiment's table and verdict and writes a JSON record to
+//! `target/experiments/<id>.json` (override the directory with
+//! `DL_EXPERIMENT_DIR`).
+
+use dl_bench::{all_ids, run_experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: exp <e1..e21|a1..a4|all> [more ids...] | --list");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in all_ids() {
+            println!("{id:<4} {}", dl_bench::describe(&id));
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        all_ids()
+    } else {
+        args
+    };
+    let mut failed = false;
+    for id in ids {
+        match run_experiment(&id) {
+            Ok(result) => {
+                println!("{}", result.render());
+                match result.save() {
+                    Ok(path) => println!("record: {}\n", path.display()),
+                    Err(e) => eprintln!("warning: could not save record: {e}"),
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

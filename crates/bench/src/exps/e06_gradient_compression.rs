@@ -1,0 +1,98 @@
+//! E6 — gradient compression sweep (§2.1).
+//!
+//! Claim: top-k sparsification and low-bit quantization with error
+//! feedback cut communicated bytes by 1-2 orders of magnitude at a small
+//! accuracy cost; priority scheduling further hides what remains.
+
+use crate::table::{bytes, f3, ExperimentResult, Table};
+use dl_distributed::{
+    compressed_sgd, schedule_backward_comm, Cluster, Device, GradCompressor, Link, SchedulePolicy,
+};
+use serde_json::json;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let data = dl_data::blobs(400, 3, 8, 6.0, 0.5, 8);
+    let eval = dl_data::blobs(150, 3, 8, 6.0, 0.5, 9);
+    let cluster = Cluster::homogeneous(4, Device::accelerator(), Link::ethernet());
+    let mut table = Table::new(&["compressor", "accuracy", "wire bytes", "ratio", "sim seconds"]);
+    let mut records = Vec::new();
+    let compressors = [
+        GradCompressor::None,
+        GradCompressor::Quantize { bits: 8 },
+        GradCompressor::Quantize { bits: 4 },
+        GradCompressor::TopK { frac: 0.1 },
+        GradCompressor::TopK { frac: 0.01 },
+    ];
+    let mut reports = Vec::new();
+    for c in &compressors {
+        let (_, r) = compressed_sgd(&cluster, &data, &eval, &[8, 24, 3], c, 200, 16, 0.05, 30);
+        table.row(&[
+            r.compressor.clone(),
+            f3(r.accuracy),
+            bytes(r.bytes_communicated),
+            format!("{:.1}x", r.ratio()),
+            format!("{:.4}", r.simulated_seconds),
+        ]);
+        records.push(json!({
+            "compressor": r.compressor, "accuracy": r.accuracy,
+            "bytes": r.bytes_communicated, "ratio": r.ratio(),
+        }));
+        reports.push(r);
+    }
+    // priority-propagation coda: one iteration scheduled both ways, on a
+    // CNN-shaped cost profile — uniform per-layer compute, gradients
+    // growing with depth (convolutions are param-light, the final dense
+    // layers param-heavy). Our MLP substrate cannot produce that shape
+    // (its parameters track its compute), so the profile is specified
+    // directly, as DESIGN.md's substitution policy allows.
+    let profile: Vec<dl_distributed::LayerComm> = [2u64, 6, 10, 20, 40]
+        .iter()
+        .map(|&mb| dl_distributed::LayerComm {
+            backward_time: 0.010,
+            forward_time: 0.010,
+            grad_bytes: mb * 1_000_000,
+        })
+        .collect();
+    let fifo = schedule_backward_comm(&profile, &Link::ethernet(), SchedulePolicy::Fifo);
+    let prio = schedule_backward_comm(&profile, &Link::ethernet(), SchedulePolicy::Priority);
+    table.row(&[
+        "— P3 schedule".into(),
+        "-".into(),
+        "-".into(),
+        format!(
+            "{:.1}% faster iter",
+            (1.0 - prio.iteration_seconds / fifo.iteration_seconds) * 100.0
+        ),
+        format!("{:.5} vs {:.5}", prio.iteration_seconds, fifo.iteration_seconds),
+    ]);
+    records.push(json!({
+        "p3_fifo_seconds": fifo.iteration_seconds,
+        "p3_priority_seconds": prio.iteration_seconds,
+    }));
+    let dense_acc = reports[0].accuracy;
+    let big_ratio = reports.last().map(|r| r.ratio()).unwrap_or(1.0);
+    let acc_holds = reports.iter().all(|r| r.accuracy > dense_acc - 0.15);
+    ExperimentResult {
+        id: "e6".into(),
+        title: "gradient compression: wire bytes vs accuracy (+ P3 scheduling)".into(),
+        table,
+        verdict: if big_ratio > 20.0 && acc_holds {
+            "matches the claim: 1-2 orders of magnitude fewer bytes at small accuracy cost; \
+             priority scheduling shortens the iteration further"
+                .into()
+        } else {
+            format!("PARTIAL: max ratio {big_ratio:.0}x, accuracy holds: {acc_holds}")
+        },
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_runs() {
+        let r = super::run();
+        assert_eq!(r.table.rows.len(), 6);
+    }
+}

@@ -1,0 +1,73 @@
+//! E10 — offloading intermediates to host memory (§2.3, vDNN).
+//!
+//! Claim: offloading reduces device memory at the cost of reread time
+//! over the host link; the cost is hidden while transfers fit under
+//! compute.
+
+use crate::table::{bytes, f3, ExperimentResult, Table};
+use dl_memsched::offload_plan;
+use dl_tensor::init;
+use serde_json::json;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let net = dl_nn::Network::mlp(
+        &[512, 2048, 2048, 1024, 512, 10],
+        &mut init::rng(70),
+    );
+    let profile = net.cost_profile(128);
+    let flops_per_sec = 10e12;
+    let mut table = Table::new(&[
+        "offload %", "device bytes", "host bytes", "slowdown (fast link)", "slowdown (slow link)",
+    ]);
+    let mut records = Vec::new();
+    let mut hidden_on_fast = true;
+    let mut visible_on_slow = false;
+    for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let fast = offload_plan(&profile, frac, flops_per_sec, 50e9); // PCIe5-class
+        let slow = offload_plan(&profile, frac, flops_per_sec, 2e9); // constrained link
+        table.row(&[
+            format!("{:.0}%", frac * 100.0),
+            bytes(fast.device_bytes),
+            bytes(fast.host_bytes),
+            f3(fast.slowdown()),
+            f3(slow.slowdown()),
+        ]);
+        records.push(json!({
+            "fraction": frac,
+            "device_bytes": fast.device_bytes,
+            "slowdown_fast": fast.slowdown(),
+            "slowdown_slow": slow.slowdown(),
+        }));
+        if frac > 0.0 {
+            if fast.slowdown() > 1.001 {
+                hidden_on_fast = false;
+            }
+            if slow.slowdown() > 1.2 {
+                visible_on_slow = true;
+            }
+        }
+    }
+    ExperimentResult {
+        id: "e10".into(),
+        title: "offloading: device memory vs training-time overhead".into(),
+        table,
+        verdict: if hidden_on_fast && visible_on_slow {
+            "matches the claim: transfers hide behind compute on a fast link and surface \
+             as training-time overhead on a slow one"
+                .into()
+        } else {
+            format!("PARTIAL: hidden_on_fast={hidden_on_fast} visible_on_slow={visible_on_slow}")
+        },
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e10_runs() {
+        let r = super::run();
+        assert_eq!(r.table.rows.len(), 5);
+    }
+}

@@ -1,0 +1,74 @@
+//! E13 — multi-attribute selectivity estimation (Part 2).
+//!
+//! Claim: neural estimators beat independence-assuming histograms on
+//! correlated multi-attribute predicates; the gap widens with predicate
+//! dimensionality.
+
+use crate::table::{f3, ExperimentResult, Table};
+use dl_data::{CorrelatedTable, RangePredicate};
+use dl_learneddb::{HistogramEstimator, NeuralEstimator, SamplingEstimator};
+use dl_learneddb::cardinality::q_error;
+use dl_tensor::init;
+use serde_json::json;
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let table_data = CorrelatedTable::generate(6000, 5, 0.9, 100);
+    let hist = HistogramEstimator::build(&table_data, 32);
+    let mut rng = init::rng(101);
+    let sample = SamplingEstimator::build(&table_data, 300, &mut rng);
+    let mut neural = NeuralEstimator::train(&table_data, 800, 4, 102);
+    let mut table = Table::new(&[
+        "predicate dims", "hist median q-err", "sample median q-err", "neural median q-err",
+    ]);
+    let mut records = Vec::new();
+    let mut neural_wins_high_dim = false;
+    let mut query_rng = init::rng(103);
+    for dims in 1..=4usize {
+        let mut hq = Vec::new();
+        let mut sq = Vec::new();
+        let mut nq = Vec::new();
+        for _ in 0..80 {
+            let p = RangePredicate::sample(5, dims, &mut query_rng);
+            let truth = table_data.true_selectivity(&p);
+            hq.push(q_error(hist.estimate(&p), truth, table_data.rows()));
+            sq.push(q_error(sample.estimate(&p), truth, table_data.rows()));
+            nq.push(q_error(neural.estimate(&p), truth, table_data.rows()));
+        }
+        let (h, s, n) = (median(&mut hq), median(&mut sq), median(&mut nq));
+        table.row(&[format!("{dims}"), f3(h), f3(s), f3(n)]);
+        records.push(json!({
+            "dims": dims, "hist_qerr": h, "sample_qerr": s, "neural_qerr": n,
+        }));
+        if dims >= 3 && n < h {
+            neural_wins_high_dim = true;
+        }
+    }
+    ExperimentResult {
+        id: "e13".into(),
+        title: "selectivity estimation on correlated data: histogram vs sample vs neural".into(),
+        table,
+        verdict: if neural_wins_high_dim {
+            "matches the claim: the learned estimator overtakes independence histograms on \
+             multi-attribute predicates over correlated columns"
+                .into()
+        } else {
+            "PARTIAL: the neural estimator did not beat histograms at high dims here".into()
+        },
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e13_runs() {
+        let r = super::run();
+        assert_eq!(r.table.rows.len(), 4);
+    }
+}

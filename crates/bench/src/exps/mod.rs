@@ -1,0 +1,58 @@
+//! One module per experiment in `DESIGN.md`'s index.
+
+pub mod a01_error_feedback;
+pub mod a02_rmi_leaves;
+pub mod a03_p3_slices;
+pub mod a04_snapshot_cycles;
+pub mod e01_quantization;
+pub mod e02_pruning;
+pub mod e03_distillation;
+pub mod e04_ensembles;
+pub mod e05_local_sgd;
+pub mod e06_gradient_compression;
+pub mod e07_placement_search;
+pub mod e08_morphnet;
+pub mod e09_rematerialization;
+pub mod e10_offloading;
+pub mod e11_learned_index;
+pub mod e12_learned_bloom;
+pub mod e13_selectivity;
+pub mod e14_knob_tuning;
+pub mod e15_bias_measurement;
+pub mod e16_bias_mitigation;
+pub mod e17_tsne;
+pub mod e18_lime;
+pub mod e19_mistique;
+pub mod e20_carbon;
+pub mod e21_tradeoff_navigator;
+
+use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
+use dl_tensor::init;
+
+/// The shared digit-classification setup several Part-1 experiments use:
+/// a train/test split of the procedural digits and a trained base model.
+pub(crate) fn digits_setup(
+    n: usize,
+    hidden: &[usize],
+    epochs: usize,
+    seed: u64,
+) -> (Dataset, Dataset, Network, Trainer) {
+    let all = dl_data::digits_dataset(n, 0.08, seed);
+    let (train, test) = all.split(0.3, seed.wrapping_add(1));
+    let mut dims = vec![dl_data::DIGIT_SIDE * dl_data::DIGIT_SIDE];
+    dims.extend_from_slice(hidden);
+    dims.push(dl_data::DIGIT_CLASSES);
+    let mut rng = init::rng(seed.wrapping_add(2));
+    let mut net = Network::mlp(&dims, &mut rng);
+    let mut trainer = Trainer::new(
+        TrainConfig {
+            epochs,
+            batch_size: 32,
+            seed: seed.wrapping_add(3),
+            ..TrainConfig::default()
+        },
+        Optimizer::adam(0.01),
+    );
+    trainer.fit(&mut net, &train);
+    (train, test, net, trainer)
+}

@@ -1,0 +1,95 @@
+//! # dl-bench
+//!
+//! The experiment harness: one module per experiment in `DESIGN.md`'s
+//! index (E1-E21), each regenerating one quantitative claim of the
+//! tutorial. The `exp` binary dispatches on experiment id and prints the
+//! result rows; every run also writes a JSON record under
+//! `target/experiments/` which `EXPERIMENTS.md` references and E21's
+//! tradeoff navigator re-reads.
+//!
+//! Determinism: every experiment takes no inputs and uses fixed seeds, so
+//! reruns reproduce identical rows (Criterion wall-clock benches in
+//! `benches/` are the only timing-sensitive artifacts).
+
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod table;
+
+pub use table::{ExperimentResult, Table};
+
+/// Runs one experiment by id (`"e1"`..`"e21"`). Returns its result.
+///
+/// # Errors
+/// Returns an error string for unknown ids.
+pub fn run_experiment(id: &str) -> Result<ExperimentResult, String> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Ok(exps::e01_quantization::run()),
+        "e2" => Ok(exps::e02_pruning::run()),
+        "e3" => Ok(exps::e03_distillation::run()),
+        "e4" => Ok(exps::e04_ensembles::run()),
+        "e5" => Ok(exps::e05_local_sgd::run()),
+        "e6" => Ok(exps::e06_gradient_compression::run()),
+        "e7" => Ok(exps::e07_placement_search::run()),
+        "e8" => Ok(exps::e08_morphnet::run()),
+        "e9" => Ok(exps::e09_rematerialization::run()),
+        "e10" => Ok(exps::e10_offloading::run()),
+        "e11" => Ok(exps::e11_learned_index::run()),
+        "e12" => Ok(exps::e12_learned_bloom::run()),
+        "e13" => Ok(exps::e13_selectivity::run()),
+        "e14" => Ok(exps::e14_knob_tuning::run()),
+        "e15" => Ok(exps::e15_bias_measurement::run()),
+        "e16" => Ok(exps::e16_bias_mitigation::run()),
+        "e17" => Ok(exps::e17_tsne::run()),
+        "e18" => Ok(exps::e18_lime::run()),
+        "e19" => Ok(exps::e19_mistique::run()),
+        "e20" => Ok(exps::e20_carbon::run()),
+        "e21" => Ok(exps::e21_tradeoff_navigator::run()),
+        "a1" => Ok(exps::a01_error_feedback::run()),
+        "a2" => Ok(exps::a02_rmi_leaves::run()),
+        "a3" => Ok(exps::a03_p3_slices::run()),
+        "a4" => Ok(exps::a04_snapshot_cycles::run()),
+        other => Err(format!(
+            "unknown experiment {other:?}; expected e1..e21, a1..a4, or 'all'"
+        )),
+    }
+}
+
+/// All experiment ids in order: claims E1-E21, then ablations A1-A4.
+pub fn all_ids() -> Vec<String> {
+    let mut ids: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
+    ids.extend((1..=4).map(|i| format!("a{i}")));
+    ids
+}
+
+/// One-line description per experiment id (for `exp --list`).
+pub fn describe(id: &str) -> &'static str {
+    match id {
+        "e1" => "quantization: accuracy vs memory across bit widths",
+        "e2" => "pruning: sparsity sweep with the accuracy cliff",
+        "e3" => "knowledge distillation into small students",
+        "e4" => "ensembles: independent vs snapshot vs treenet vs mothernet",
+        "e5" => "Local SGD: sync period vs communication",
+        "e6" => "gradient compression + P3 scheduling",
+        "e7" => "FlexFlow-style placement search vs defaults",
+        "e8" => "MorphNet-style width reallocation vs uniform scaling",
+        "e9" => "rematerialization: sqrt(n) vs optimal DP",
+        "e10" => "offloading: memory vs training-time overhead",
+        "e11" => "learned index (RMI) vs B-tree",
+        "e12" => "learned Bloom filter vs classic",
+        "e13" => "selectivity estimation: histogram vs sample vs neural",
+        "e14" => "DB knob tuning: Q-learning vs search baselines",
+        "e15" => "bias knob sweep: injected vs measured bias",
+        "e16" => "bias mitigation at three intervention points",
+        "e17" => "t-SNE vs PCA: neighborhood preservation",
+        "e18" => "LIME fidelity and feature recovery",
+        "e19" => "Mistique-lite intermediate store footprint",
+        "e20" => "carbon: size x hardware x region + scheduling",
+        "e21" => "tradeoff navigator: Pareto frontier",
+        "a1" => "ablation: error feedback in gradient compression",
+        "a2" => "ablation: RMI leaf budget",
+        "a3" => "ablation: P3 slice granularity",
+        "a4" => "ablation: snapshot cycle split + FGE",
+        _ => "unknown",
+    }
+}

@@ -1,0 +1,188 @@
+//! Result tables: pretty terminal rendering + JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells for {} headers",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:<w$}");
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// A complete experiment result: identity, headline, table, and the
+/// structured records E21 consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`e1`..`e21`).
+    pub id: String,
+    /// One-line title (the tutorial claim being regenerated).
+    pub title: String,
+    /// The result table.
+    pub table: Table,
+    /// One-sentence verdict comparing measurement to the claim.
+    pub verdict: String,
+    /// Machine-readable measurements for downstream use (E21).
+    pub records: Vec<serde_json::Value>,
+}
+
+impl ExperimentResult {
+    /// Renders the full report block.
+    pub fn render(&self) -> String {
+        format!(
+            "== {} — {}\n\n{}\nverdict: {}\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.table.render(),
+            self.verdict
+        )
+    }
+
+    /// Directory where experiment JSON records are written.
+    pub fn output_dir() -> PathBuf {
+        let dir = std::env::var("DL_EXPERIMENT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+        std::fs::create_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Writes the JSON record to `target/experiments/<id>.json`.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let path = Self::output_dir().join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes(v: u64) -> String {
+    match v {
+        v if v >= 1 << 30 => format!("{:.2} GiB", v as f64 / (1u64 << 30) as f64),
+        v if v >= 1 << 20 => format!("{:.2} MiB", v as f64 / (1u64 << 20) as f64),
+        v if v >= 1 << 10 => format!("{:.2} KiB", v as f64 / 1024.0),
+        v => format!("{v} B"),
+    }
+}
+
+/// Formats a FLOP count human-readably.
+pub fn flops(v: u64) -> String {
+    match v {
+        v if v >= 1_000_000_000_000 => format!("{:.2} TFLOP", v as f64 / 1e12),
+        v if v >= 1_000_000_000 => format!("{:.2} GFLOP", v as f64 / 1e9),
+        v if v >= 1_000_000 => format!("{:.2} MFLOP", v as f64 / 1e6),
+        v => format!("{v} FLOP"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "2".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row(&["only".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.00 KiB");
+        assert_eq!(bytes(3 << 20), "3.00 MiB");
+        assert_eq!(flops(500), "500 FLOP");
+        assert_eq!(flops(2_500_000), "2.50 MFLOP");
+        assert_eq!(flops(3_000_000_000_000), "3.00 TFLOP");
+    }
+
+    #[test]
+    fn result_saves_json() {
+        let r = ExperimentResult {
+            id: "etest".into(),
+            title: "test".into(),
+            table: Table::new(&["x"]),
+            verdict: "ok".into(),
+            records: vec![],
+        };
+        let path = r.save().unwrap();
+        assert!(path.exists());
+        let back: ExperimentResult =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back.id, "etest");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,230 @@
+//! Integer key distributions and range workloads for the learned-index and
+//! Bloom-filter experiments.
+
+use dl_tensor::init;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Families of key distributions the learned-index experiment sweeps over.
+/// Learned indexes shine on smooth CDFs (uniform, lognormal) and struggle on
+/// adversarially clustered keys — the sweep makes that crossover visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDistribution {
+    /// Uniform over `[0, max)`.
+    Uniform,
+    /// Lognormal (smooth but skewed CDF).
+    Lognormal,
+    /// Zipf-like: small keys vastly more frequent before deduplication.
+    Zipf,
+    /// Tight clusters separated by wide gaps (hard for linear models).
+    Clustered,
+}
+
+impl KeyDistribution {
+    /// All distributions, for sweeps.
+    pub fn all() -> [KeyDistribution; 4] {
+        [
+            KeyDistribution::Uniform,
+            KeyDistribution::Lognormal,
+            KeyDistribution::Zipf,
+            KeyDistribution::Clustered,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyDistribution::Uniform => "uniform",
+            KeyDistribution::Lognormal => "lognormal",
+            KeyDistribution::Zipf => "zipf",
+            KeyDistribution::Clustered => "clustered",
+        }
+    }
+
+    /// Generates `n` **sorted, deduplicated** keys.
+    ///
+    /// The returned vector may be slightly shorter than `n` after
+    /// deduplication; callers that need exactly `n` should oversample.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = init::rng(seed);
+        let mut keys: Vec<u64> = match self {
+            KeyDistribution::Uniform => {
+                (0..n).map(|_| rng.gen_range(0..(n as u64) * 100)).collect()
+            }
+            KeyDistribution::Lognormal => (0..n)
+                .map(|_| {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (z.mul_add(2.0, 10.0)).exp().min(1e15) as u64
+                })
+                .collect(),
+            KeyDistribution::Zipf => (0..n)
+                .map(|_| {
+                    // inverse-CDF sampling of a discrete power law
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    (u.powf(-1.5).min(1e12)) as u64
+                })
+                .collect(),
+            KeyDistribution::Clustered => {
+                let clusters = (n / 1000).max(4);
+                (0..n)
+                    .map(|_| {
+                        let c = rng.gen_range(0..clusters) as u64;
+                        c * 10_000_000 + rng.gen_range(0..2_000u64)
+                    })
+                    .collect()
+            }
+        };
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+}
+
+/// A lookup / range-scan workload over a sorted key set.
+#[derive(Debug, Clone)]
+pub struct RangeWorkload {
+    /// Point-lookup keys (all guaranteed present).
+    pub lookups: Vec<u64>,
+    /// Keys guaranteed absent (for negative-lookup / Bloom-filter tests).
+    pub negative_lookups: Vec<u64>,
+    /// `(lo, hi)` range-scan bounds.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+impl RangeWorkload {
+    /// Builds a workload of `ops` point lookups, `ops` negative lookups and
+    /// `ops / 10` range scans against `keys` (which must be sorted).
+    ///
+    /// # Panics
+    /// Panics when `keys` is empty.
+    pub fn generate(keys: &[u64], ops: usize, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "workload needs a non-empty key set");
+        let mut rng = init::rng(seed);
+        let lookups = (0..ops)
+            .map(|_| keys[rng.gen_range(0..keys.len())])
+            .collect();
+        let key_set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        let max = *keys.last().expect("non-empty") + 1_000_000;
+        let mut negative_lookups = Vec::with_capacity(ops);
+        while negative_lookups.len() < ops {
+            let candidate = rng.gen_range(0..max);
+            if !key_set.contains(&candidate) {
+                negative_lookups.push(candidate);
+            }
+        }
+        let ranges = (0..ops / 10)
+            .map(|_| {
+                let i = rng.gen_range(0..keys.len());
+                let span = rng.gen_range(1..100u64);
+                (keys[i], keys[i].saturating_add(span * 1000))
+            })
+            .collect();
+        RangeWorkload {
+            lookups,
+            negative_lookups,
+            ranges,
+        }
+    }
+}
+
+/// Draws `n` keys **not** present in the sorted `keys` slice — the negative
+/// set used to measure Bloom-filter false-positive rates.
+pub fn absent_keys(keys: &[u64], n: usize, rng: &mut StdRng) -> Vec<u64> {
+    let key_set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    let max = keys.last().copied().unwrap_or(1_000_000) + 10_000_000;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let candidate = rng.gen_range(0..max);
+        if !key_set.contains(&candidate) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_keys_are_sorted_and_unique() {
+        for dist in KeyDistribution::all() {
+            let keys = dist.generate(10_000, 0);
+            assert!(!keys.is_empty(), "{} produced no keys", dist.name());
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn distributions_are_seed_deterministic() {
+        let a = KeyDistribution::Lognormal.generate(1000, 7);
+        let b = KeyDistribution::Lognormal.generate(1000, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, KeyDistribution::Lognormal.generate(1000, 8));
+    }
+
+    #[test]
+    fn clustered_keys_have_gaps() {
+        let keys = KeyDistribution::Clustered.generate(10_000, 1);
+        let max_gap = keys.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        let median_gap = {
+            let mut gaps: Vec<u64> = keys.windows(2).map(|w| w[1] - w[0]).collect();
+            gaps.sort_unstable();
+            gaps[gaps.len() / 2]
+        };
+        assert!(
+            max_gap > median_gap * 100,
+            "clustered distribution should have huge gaps: max {max_gap}, median {median_gap}"
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_keys() {
+        let keys = KeyDistribution::Zipf.generate(10_000, 2);
+        // the power law puts ~95% of raw samples below 100, so after
+        // dedup the small-key region is densely covered...
+        let small = keys.iter().filter(|&&k| k < 100).count();
+        assert!(small >= 90, "only {small} unique keys below 100");
+        // ...while the tail is sparse: far fewer unique keys per unit range
+        let tail_density = keys.iter().filter(|&&k| k >= 100_000).count();
+        assert!(tail_density < keys.len() / 2);
+    }
+
+    #[test]
+    fn workload_lookups_all_present() {
+        let keys = KeyDistribution::Uniform.generate(5000, 3);
+        let w = RangeWorkload::generate(&keys, 500, 4);
+        let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert!(w.lookups.iter().all(|k| set.contains(k)));
+        assert_eq!(w.lookups.len(), 500);
+    }
+
+    #[test]
+    fn workload_negatives_all_absent() {
+        let keys = KeyDistribution::Uniform.generate(5000, 5);
+        let w = RangeWorkload::generate(&keys, 300, 6);
+        let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert!(w.negative_lookups.iter().all(|k| !set.contains(k)));
+        assert_eq!(w.negative_lookups.len(), 300);
+    }
+
+    #[test]
+    fn workload_ranges_are_ordered() {
+        let keys = KeyDistribution::Uniform.generate(5000, 7);
+        let w = RangeWorkload::generate(&keys, 200, 8);
+        assert_eq!(w.ranges.len(), 20);
+        assert!(w.ranges.iter().all(|&(lo, hi)| lo <= hi));
+    }
+
+    #[test]
+    fn absent_keys_are_absent() {
+        let keys = KeyDistribution::Uniform.generate(2000, 9);
+        let mut rng = init::rng(10);
+        let absent = absent_keys(&keys, 100, &mut rng);
+        let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(absent.len(), 100);
+        assert!(absent.iter().all(|k| !set.contains(k)));
+    }
+}

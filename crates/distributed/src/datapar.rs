@@ -1,0 +1,441 @@
+//! Synchronous data-parallel SGD and Local SGD.
+//!
+//! Local SGD (§2.1) relaxes the constraint that every worker holds fresh
+//! parameters: workers train independently for `sync_period` steps, then
+//! average. Communication drops by the sync period; accuracy degrades
+//! gracefully. `sync_period == 1` recovers fully-synchronous data-parallel
+//! training (each worker still takes its own local step before averaging,
+//! the standard local-update formulation).
+
+use crate::sim::Cluster;
+use dl_nn::{loss::one_hot, Dataset, Loss, Network, Optimizer};
+use dl_tensor::init;
+
+/// Local SGD configuration.
+#[derive(Debug, Clone)]
+pub struct LocalSgdConfig {
+    /// Steps between parameter averaging (1 = synchronous).
+    pub sync_period: usize,
+    /// Total optimizer steps per worker.
+    pub steps: usize,
+    /// Per-worker mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate (plain SGD keeps workers' trajectories comparable).
+    pub lr: f32,
+    /// Shuffle/shard seed.
+    pub seed: u64,
+}
+
+impl Default for LocalSgdConfig {
+    fn default() -> Self {
+        LocalSgdConfig {
+            sync_period: 1,
+            steps: 200,
+            batch_size: 16,
+            lr: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a Local SGD run.
+#[derive(Debug, Clone)]
+pub struct LocalSgdReport {
+    /// Sync period used.
+    pub sync_period: usize,
+    /// Final accuracy of the averaged model on the evaluation set.
+    pub accuracy: f64,
+    /// Total bytes communicated (all workers, all syncs).
+    pub bytes_communicated: u64,
+    /// Simulated wall-clock seconds (compute + communication).
+    pub simulated_seconds: f64,
+    /// Number of averaging rounds that occurred.
+    pub sync_rounds: usize,
+}
+
+/// Runs Local SGD with one worker per cluster device.
+///
+/// Data is sharded round-robin across workers; every worker runs real
+/// forward/backward passes, and parameters are averaged every
+/// `sync_period` steps. Returns the averaged model and the report.
+///
+/// # Panics
+/// Panics when `sync_period == 0` or the dataset is smaller than the
+/// worker count.
+pub fn local_sgd(
+    cluster: &Cluster,
+    data: &Dataset,
+    eval: &Dataset,
+    dims: &[usize],
+    config: &LocalSgdConfig,
+) -> (Network, LocalSgdReport) {
+    assert!(config.sync_period > 0, "sync_period must be positive");
+    let workers = cluster.len();
+    assert!(
+        data.len() >= workers,
+        "dataset of {} rows cannot shard across {workers} workers",
+        data.len()
+    );
+    // identical initialization on every worker (standard practice)
+    let mut seed_rng = init::rng(config.seed);
+    let reference = Network::mlp(dims, &mut seed_rng);
+    let mut nets: Vec<Network> = (0..workers).map(|_| reference.clone()).collect();
+    let mut opts: Vec<Optimizer> = (0..workers).map(|_| Optimizer::sgd(config.lr)).collect();
+    // round-robin shards
+    let shards: Vec<Vec<usize>> = (0..workers)
+        .map(|w| (w..data.len()).step_by(workers).collect())
+        .collect();
+    let mut shard_rngs: Vec<_> = (0..workers)
+        .map(|w| init::rng(config.seed.wrapping_add(w as u64 + 1)))
+        .collect();
+    let step_flops = reference.cost_profile(config.batch_size).train_step_flops();
+    let grad_bytes = (reference.param_count() * 4) as u64;
+    let mut bytes = 0u64;
+    let mut seconds = 0.0f64;
+    let mut rounds = 0usize;
+    for step in 0..config.steps {
+        for w in 0..workers {
+            // sample a batch from this worker's shard
+            let idx: Vec<usize> = (0..config.batch_size)
+                .map(|_| shards[w][init::sample_indices(shards[w].len(), 1, &mut shard_rngs[w])[0]])
+                .collect();
+            let xb = data.x.select_rows(&idx);
+            let labels: Vec<usize> = idx.iter().map(|&i| data.y[i]).collect();
+            let targets = one_hot(&labels, data.classes);
+            nets[w].zero_grads();
+            let logits = nets[w].forward(&xb, true);
+            let (_, grad) = Loss::SoftmaxCrossEntropy.evaluate(&logits, &targets);
+            nets[w].backward(&grad);
+            let mut pg = nets[w].params_and_grads();
+            opts[w].step(&mut pg, 1.0);
+        }
+        // compute time: workers run in parallel, slowest dominates
+        seconds += cluster
+            .devices
+            .iter()
+            .map(|d| d.compute_time(step_flops))
+            .fold(0.0, f64::max);
+        if (step + 1) % config.sync_period == 0 {
+            average_params(&mut nets);
+            seconds += cluster.allreduce_time(grad_bytes);
+            bytes += grad_bytes * workers as u64;
+            rounds += 1;
+        }
+    }
+    average_params(&mut nets);
+    let mut model = nets.swap_remove(0);
+    model.clear_caches();
+    let accuracy = dl_nn::metrics::accuracy(&model.predict(&eval.x), &eval.y);
+    (
+        model,
+        LocalSgdReport {
+            sync_period: config.sync_period,
+            accuracy,
+            bytes_communicated: bytes,
+            simulated_seconds: seconds,
+            sync_rounds: rounds,
+        },
+    )
+}
+
+/// Local SGD with **failure injection**: `failures` lists `(step, worker)`
+/// pairs; from its failure step onward a worker stops training and stops
+/// contributing to averages (crash-stop). Training proceeds on the
+/// survivors — the graceful-degradation behaviour a synchronous system
+/// must exhibit.
+///
+/// Returns the model, the report, and the number of workers still alive.
+///
+/// # Panics
+/// Panics when every worker fails, or on the same invalid inputs as
+/// [`local_sgd`].
+pub fn local_sgd_with_failures(
+    cluster: &Cluster,
+    data: &Dataset,
+    eval: &Dataset,
+    dims: &[usize],
+    config: &LocalSgdConfig,
+    failures: &[(usize, usize)],
+) -> (Network, LocalSgdReport, usize) {
+    assert!(config.sync_period > 0, "sync_period must be positive");
+    let workers = cluster.len();
+    assert!(
+        failures.iter().all(|&(_, w)| w < workers),
+        "failure names an unknown worker"
+    );
+    let mut seed_rng = init::rng(config.seed);
+    let reference = Network::mlp(dims, &mut seed_rng);
+    let mut nets: Vec<Network> = (0..workers).map(|_| reference.clone()).collect();
+    let mut opts: Vec<Optimizer> = (0..workers).map(|_| Optimizer::sgd(config.lr)).collect();
+    let mut alive = vec![true; workers];
+    let shards: Vec<Vec<usize>> = (0..workers)
+        .map(|w| (w..data.len()).step_by(workers).collect())
+        .collect();
+    let mut shard_rngs: Vec<_> = (0..workers)
+        .map(|w| init::rng(config.seed.wrapping_add(w as u64 + 1)))
+        .collect();
+    let step_flops = reference.cost_profile(config.batch_size).train_step_flops();
+    let grad_bytes = (reference.param_count() * 4) as u64;
+    let mut bytes = 0u64;
+    let mut seconds = 0.0f64;
+    let mut rounds = 0usize;
+    for step in 0..config.steps {
+        for &(fail_step, worker) in failures {
+            if fail_step == step {
+                alive[worker] = false;
+            }
+        }
+        let living: Vec<usize> = (0..workers).filter(|&w| alive[w]).collect();
+        assert!(!living.is_empty(), "all workers failed at step {step}");
+        for &w in &living {
+            let idx: Vec<usize> = (0..config.batch_size)
+                .map(|_| shards[w][init::sample_indices(shards[w].len(), 1, &mut shard_rngs[w])[0]])
+                .collect();
+            let xb = data.x.select_rows(&idx);
+            let labels: Vec<usize> = idx.iter().map(|&i| data.y[i]).collect();
+            let targets = one_hot(&labels, data.classes);
+            nets[w].zero_grads();
+            let logits = nets[w].forward(&xb, true);
+            let (_, grad) = Loss::SoftmaxCrossEntropy.evaluate(&logits, &targets);
+            nets[w].backward(&grad);
+            let mut pg = nets[w].params_and_grads();
+            opts[w].step(&mut pg, 1.0);
+        }
+        seconds += cluster
+            .devices
+            .iter()
+            .map(|d| d.compute_time(step_flops))
+            .fold(0.0, f64::max);
+        if (step + 1) % config.sync_period == 0 {
+            average_surviving(&mut nets, &alive);
+            seconds += cluster.allreduce_time(grad_bytes);
+            bytes += grad_bytes * living.len() as u64;
+            rounds += 1;
+        }
+    }
+    average_surviving(&mut nets, &alive);
+    let survivor = (0..workers).find(|&w| alive[w]).expect("checked above");
+    let mut model = nets.swap_remove(survivor);
+    model.clear_caches();
+    let accuracy = dl_nn::metrics::accuracy(&model.predict(&eval.x), &eval.y);
+    let living = alive.iter().filter(|&&a| a).count();
+    (
+        model,
+        LocalSgdReport {
+            sync_period: config.sync_period,
+            accuracy,
+            bytes_communicated: bytes,
+            simulated_seconds: seconds,
+            sync_rounds: rounds,
+        },
+        living,
+    )
+}
+
+/// Averages parameters over surviving workers only.
+fn average_surviving(nets: &mut [Network], alive: &[bool]) {
+    let living: Vec<usize> = (0..nets.len()).filter(|&w| alive[w]).collect();
+    if living.len() <= 1 {
+        return;
+    }
+    let mut mean = nets[living[0]].flat_params();
+    for &w in living.iter().skip(1) {
+        for (m, v) in mean.iter_mut().zip(nets[w].flat_params()) {
+            *m += v;
+        }
+    }
+    let n = living.len() as f32;
+    for m in &mut mean {
+        *m /= n;
+    }
+    for &w in &living {
+        nets[w].set_flat_params(&mean);
+    }
+}
+
+/// Replaces every network's parameters with the elementwise mean.
+fn average_params(nets: &mut [Network]) {
+    if nets.len() <= 1 {
+        return;
+    }
+    let mut mean = nets[0].flat_params();
+    for net in nets.iter().skip(1) {
+        for (m, v) in mean.iter_mut().zip(net.flat_params()) {
+            *m += v;
+        }
+    }
+    let n = nets.len() as f32;
+    for m in &mut mean {
+        *m /= n;
+    }
+    for net in nets.iter_mut() {
+        net.set_flat_params(&mean);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Device, Link};
+    use dl_data::blobs;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(n, Device::accelerator(), Link::ethernet())
+    }
+
+    #[test]
+    fn average_params_is_elementwise_mean() {
+        let mut r = init::rng(0);
+        let a = Network::mlp(&[2, 3, 2], &mut r);
+        let b = Network::mlp(&[2, 3, 2], &mut r);
+        let expected: Vec<f32> = a
+            .flat_params()
+            .iter()
+            .zip(b.flat_params())
+            .map(|(&x, y)| (x + y) / 2.0)
+            .collect();
+        let mut nets = vec![a, b];
+        average_params(&mut nets);
+        for net in &nets {
+            let got = net.flat_params();
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g - e).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_training_learns() {
+        let data = blobs(200, 2, 4, 6.0, 0.4, 0);
+        let eval = blobs(80, 2, 4, 6.0, 0.4, 1);
+        let (_, report) = local_sgd(
+            &cluster(4),
+            &data,
+            &eval,
+            &[4, 16, 2],
+            &LocalSgdConfig {
+                steps: 150,
+                ..LocalSgdConfig::default()
+            },
+        );
+        assert!(report.accuracy > 0.9, "accuracy {}", report.accuracy);
+        assert_eq!(report.sync_rounds, 150);
+    }
+
+    #[test]
+    fn longer_period_cuts_communication() {
+        let data = blobs(200, 2, 4, 6.0, 0.4, 2);
+        let eval = blobs(80, 2, 4, 6.0, 0.4, 3);
+        let run = |period| {
+            local_sgd(
+                &cluster(4),
+                &data,
+                &eval,
+                &[4, 16, 2],
+                &LocalSgdConfig {
+                    sync_period: period,
+                    steps: 120,
+                    ..LocalSgdConfig::default()
+                },
+            )
+            .1
+        };
+        let sync = run(1);
+        let local8 = run(8);
+        assert!(local8.bytes_communicated * 7 < sync.bytes_communicated);
+        assert!(local8.simulated_seconds < sync.simulated_seconds);
+        // accuracy should remain in the ballpark (tutorial's claim)
+        assert!(local8.accuracy > sync.accuracy - 0.15);
+    }
+
+    #[test]
+    fn single_worker_never_communicates() {
+        let data = blobs(100, 2, 3, 6.0, 0.4, 4);
+        let (_, report) = local_sgd(
+            &cluster(1),
+            &data,
+            &data,
+            &[3, 8, 2],
+            &LocalSgdConfig {
+                steps: 50,
+                ..LocalSgdConfig::default()
+            },
+        );
+        // bytes counted only across links; with one worker the all-reduce
+        // is free but the bookkeeping still counts local "rounds"
+        assert_eq!(report.sync_rounds, 50);
+        assert!(report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn training_survives_worker_failures() {
+        let data = blobs(200, 2, 4, 6.0, 0.4, 10);
+        let eval = blobs(80, 2, 4, 6.0, 0.4, 11);
+        // two of four workers crash mid-training
+        let (_, report, living) = local_sgd_with_failures(
+            &cluster(4),
+            &data,
+            &eval,
+            &[4, 16, 2],
+            &LocalSgdConfig {
+                steps: 150,
+                ..LocalSgdConfig::default()
+            },
+            &[(40, 1), (80, 3)],
+        );
+        assert_eq!(living, 2);
+        assert!(
+            report.accuracy > 0.9,
+            "survivors should still learn: {}",
+            report.accuracy
+        );
+    }
+
+    #[test]
+    fn no_failures_matches_plain_local_sgd() {
+        let data = blobs(120, 2, 3, 6.0, 0.4, 12);
+        let cfg = LocalSgdConfig {
+            steps: 60,
+            ..LocalSgdConfig::default()
+        };
+        let (m1, r1) = local_sgd(&cluster(3), &data, &data, &[3, 8, 2], &cfg);
+        let (m2, r2, living) =
+            local_sgd_with_failures(&cluster(3), &data, &data, &[3, 8, 2], &cfg, &[]);
+        assert_eq!(living, 3);
+        assert_eq!(r1.accuracy, r2.accuracy);
+        assert_eq!(m1.flat_params(), m2.flat_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "all workers failed")]
+    fn total_failure_is_fatal() {
+        let data = blobs(60, 2, 3, 6.0, 0.4, 13);
+        local_sgd_with_failures(
+            &cluster(2),
+            &data,
+            &data,
+            &[3, 4, 2],
+            &LocalSgdConfig {
+                steps: 20,
+                ..LocalSgdConfig::default()
+            },
+            &[(5, 0), (5, 1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sync_period must be positive")]
+    fn zero_period_rejected() {
+        let data = blobs(50, 2, 3, 6.0, 0.4, 5);
+        local_sgd(
+            &cluster(2),
+            &data,
+            &data,
+            &[3, 4, 2],
+            &LocalSgdConfig {
+                sync_period: 0,
+                ..LocalSgdConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # dl-distributed
+//!
+//! Distributed deep learning on a **simulated cluster** (the substitution
+//! for the GPU clusters the tutorial's Part 1 assumes — see `DESIGN.md`).
+//! The simulator models devices with compute rates and links with bandwidth
+//! and latency; training code runs real networks on real data shards, while
+//! time and bytes are charged against the cost model. That keeps both sides
+//! of every claim measurable: statistical efficiency (real accuracy) and
+//! hardware efficiency (simulated seconds and bytes).
+//!
+//! * [`sim`] — the cluster cost model.
+//! * [`datapar`] — synchronous data-parallel SGD and **Local SGD**
+//!   (§2.1: relaxing the freshness constraint to cut communication).
+//! * [`gradcomp`] — **gradient compression**: top-k sparsification and
+//!   low-bit quantization with error feedback.
+//! * [`priority`] — **priority-based parameter propagation**: overlapping
+//!   communication with compute, scheduling first-needed-first.
+//! * [`flexflow`] — **optimize-then-parallelize**: an MCMC search over
+//!   layer-to-device placements driven by the simulator (§2.2).
+//! * [`morph`] — **MorphNet-style** iterative width optimization under a
+//!   resource budget (§2.2).
+
+#![warn(missing_docs)]
+
+pub mod datapar;
+pub mod flexflow;
+pub mod gradcomp;
+pub mod morph;
+pub mod priority;
+pub mod sim;
+
+pub use datapar::{local_sgd, local_sgd_with_failures, LocalSgdConfig, LocalSgdReport};
+pub use flexflow::{data_parallel_cost, optimize_placement, Placement, PlacementSearchConfig, StrategyCost};
+pub use gradcomp::{compressed_sgd, compressed_sgd_opts, GradCompressionReport, GradCompressor};
+pub use morph::{morph_resize, uniform_baseline, MorphConfig, MorphReport};
+pub use priority::{layer_comm_profile, schedule_backward_comm, CommSchedule, LayerComm, SchedulePolicy};
+pub use sim::{Cluster, Device, Link};

@@ -1,0 +1,217 @@
+//! A carbon-aware training-job scheduler.
+//!
+//! §4.3's data-management opportunity: allocate deep learning jobs in the
+//! cloud to minimize energy waste. Jobs have an energy demand (kWh) and a
+//! deadline (hours from now); the scheduler assigns each to a (region,
+//! start-hour) slot. The carbon-aware policy greedily picks the
+//! lowest-emission feasible slot per job (largest jobs first); the naive
+//! baseline runs everything immediately in a fixed home region.
+
+use crate::carbon::Region;
+
+/// A training job to place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Energy the job will draw (kWh, PUE included).
+    pub kwh: f64,
+    /// Runtime in whole hours (energy assumed uniform across them).
+    pub hours: usize,
+    /// Latest allowed completion, in hours from now.
+    pub deadline: usize,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Run each job immediately in the home region.
+    NaiveImmediate {
+        /// The fixed home region.
+        home: Region,
+    },
+    /// Greedy carbon-aware placement across all regions and start hours.
+    CarbonAware,
+}
+
+/// One job's placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Region chosen.
+    pub region: Region,
+    /// Start hour (0 = now).
+    pub start_hour: usize,
+    /// Emissions of this job in gCO2e.
+    pub grams_co2e: f64,
+}
+
+/// The outcome of scheduling a batch of jobs.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// Per-job placements, in input order.
+    pub placements: Vec<Placement>,
+    /// Total emissions in gCO2e.
+    pub total_grams: f64,
+}
+
+/// Emissions of running `job` in `region` starting at `start_hour`.
+fn job_emissions(job: &Job, region: Region, start_hour: usize) -> f64 {
+    let kwh_per_hour = job.kwh / job.hours.max(1) as f64;
+    (0..job.hours.max(1))
+        .map(|h| kwh_per_hour * region.intensity_at(start_hour + h))
+        .sum()
+}
+
+/// Schedules `jobs` under `policy`.
+///
+/// # Panics
+/// Panics when a job cannot meet its deadline (`hours > deadline`).
+pub fn schedule_jobs(jobs: &[Job], policy: SchedulePolicy) -> ScheduleOutcome {
+    for (i, j) in jobs.iter().enumerate() {
+        assert!(
+            j.hours <= j.deadline.max(1),
+            "job {i} cannot finish by its deadline"
+        );
+    }
+    let placements: Vec<Placement> = jobs
+        .iter()
+        .map(|job| match policy {
+            SchedulePolicy::NaiveImmediate { home } => Placement {
+                region: home,
+                start_hour: 0,
+                grams_co2e: job_emissions(job, home, 0),
+            },
+            SchedulePolicy::CarbonAware => {
+                let latest_start = job.deadline.saturating_sub(job.hours);
+                let mut best = Placement {
+                    region: Region::MixedAverage,
+                    start_hour: 0,
+                    grams_co2e: f64::INFINITY,
+                };
+                for region in Region::all() {
+                    for start in 0..=latest_start {
+                        let g = job_emissions(job, region, start);
+                        if g < best.grams_co2e {
+                            best = Placement {
+                                region,
+                                start_hour: start,
+                                grams_co2e: g,
+                            };
+                        }
+                    }
+                }
+                best
+            }
+        })
+        .collect();
+    let total_grams = placements.iter().map(|p| p.grams_co2e).sum();
+    ScheduleOutcome {
+        placements,
+        total_grams,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job {
+                kwh: 100.0,
+                hours: 4,
+                deadline: 24,
+            },
+            Job {
+                kwh: 10.0,
+                hours: 1,
+                deadline: 12,
+            },
+            Job {
+                kwh: 50.0,
+                hours: 8,
+                deadline: 48,
+            },
+        ]
+    }
+
+    #[test]
+    fn carbon_aware_beats_naive_coal_home() {
+        let naive = schedule_jobs(
+            &jobs(),
+            SchedulePolicy::NaiveImmediate {
+                home: Region::CoalBelt,
+            },
+        );
+        let aware = schedule_jobs(&jobs(), SchedulePolicy::CarbonAware);
+        assert!(
+            aware.total_grams < naive.total_grams / 5.0,
+            "aware {} vs naive {}",
+            aware.total_grams,
+            naive.total_grams
+        );
+    }
+
+    #[test]
+    fn carbon_aware_never_worse_than_any_naive_home() {
+        let aware = schedule_jobs(&jobs(), SchedulePolicy::CarbonAware);
+        for home in Region::all() {
+            let naive = schedule_jobs(&jobs(), SchedulePolicy::NaiveImmediate { home });
+            assert!(aware.total_grams <= naive.total_grams + 1e-9);
+        }
+    }
+
+    #[test]
+    fn placements_respect_deadlines() {
+        let aware = schedule_jobs(&jobs(), SchedulePolicy::CarbonAware);
+        for (p, j) in aware.placements.iter().zip(jobs()) {
+            assert!(p.start_hour + j.hours <= j.deadline);
+        }
+    }
+
+    #[test]
+    fn aware_scheduler_prefers_clean_regions() {
+        let aware = schedule_jobs(&jobs(), SchedulePolicy::CarbonAware);
+        // hydro-north has by far the lowest intensity at every hour
+        assert!(aware
+            .placements
+            .iter()
+            .all(|p| p.region == Region::HydroNorth));
+    }
+
+    #[test]
+    fn emissions_sum_matches_parts() {
+        let o = schedule_jobs(&jobs(), SchedulePolicy::CarbonAware);
+        let s: f64 = o.placements.iter().map(|p| p.grams_co2e).sum();
+        assert!((s - o.total_grams).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot finish")]
+    fn impossible_deadline_rejected() {
+        schedule_jobs(
+            &[Job {
+                kwh: 1.0,
+                hours: 10,
+                deadline: 5,
+            }],
+            SchedulePolicy::CarbonAware,
+        );
+    }
+
+    #[test]
+    fn flexible_deadline_finds_cleaner_hour_within_region() {
+        // pin to one swinging region by comparing start hours
+        let tight = Job {
+            kwh: 10.0,
+            hours: 1,
+            deadline: 1,
+        };
+        let loose = Job {
+            kwh: 10.0,
+            hours: 1,
+            deadline: 24,
+        };
+        let t = schedule_jobs(&[tight], SchedulePolicy::CarbonAware);
+        let l = schedule_jobs(&[loose], SchedulePolicy::CarbonAware);
+        assert!(l.total_grams <= t.total_grams);
+    }
+}

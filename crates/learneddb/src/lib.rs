@@ -1,0 +1,40 @@
+//! # dl-learneddb
+//!
+//! Deep learning *in* data systems (tutorial Part 2): learned replacements
+//! for classic database components, implemented next to the classic
+//! baselines they are measured against.
+//!
+//! * [`btree`] — a bulk-loaded in-memory B-tree (the access-method
+//!   baseline; counts node visits so lookup cost is measurable without a
+//!   wall clock).
+//! * [`rmi`] — a two-stage Recursive Model Index ("The Case for Learned
+//!   Index Structures"): a root model routes each key to a leaf linear
+//!   model; max-error bounds make lookups exact via bounded binary search.
+//! * [`bloom`] — a classic Bloom filter and a learned Bloom filter (a tiny
+//!   neural classifier plus a backup filter that restores the zero-false-
+//!   negative guarantee).
+//! * [`cardinality`] — multi-attribute selectivity estimation: per-column
+//!   histograms under the independence assumption, uniform sampling, and a
+//!   neural estimator trained on example predicates; all scored by q-error.
+//! * [`tuner`] — a simulated database with performance knobs and a
+//!   Q-learning tuner (the deep-RL knob-tuning line of work, at tabular
+//!   scale), against random and grid search.
+//! * [`store`] — a SageDB-style facade: one key store whose index and
+//!   filter components swap between classic and learned implementations,
+//!   with shared cost counters.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod btree;
+pub mod cardinality;
+pub mod rmi;
+pub mod store;
+pub mod tuner;
+
+pub use bloom::{BloomFilter, LearnedBloom};
+pub use btree::BTreeIndex;
+pub use cardinality::{HistogramEstimator, NeuralEstimator, SamplingEstimator};
+pub use rmi::RecursiveModelIndex;
+pub use store::{FilterChoice, IndexChoice, LearnedStore, StoreCounters};
+pub use tuner::{DbSimulator, KnobConfig, QLearningTuner};

@@ -1,0 +1,25 @@
+//! # dl-memsched
+//!
+//! Training-time vs. memory-efficiency techniques (tutorial §2.3): the
+//! observation that intermediate results produced during the forward pass
+//! need not all be stored — they can be **recomputed** (rematerialization /
+//! checkpointing) or **offloaded** to slower host memory and re-read.
+//!
+//! * [`remat`] — checkpointing schedules over a layer chain:
+//!   store-everything baseline, the classic sqrt(n) equidistant heuristic
+//!   (Chen et al. / revolve), and a Checkmate-style **optimal** schedule
+//!   found by Pareto dynamic programming for any memory budget.
+//! * [`offload`] — vDNN-style offloading of intermediate results over a
+//!   host link, with compute/transfer overlap modeling.
+//!
+//! Inputs are the per-layer activation sizes and FLOP counts from
+//! `dl-nn`'s cost model, so every schedule is priced against the same
+//! numbers the rest of the workspace uses.
+
+#![warn(missing_docs)]
+
+pub mod offload;
+pub mod remat;
+
+pub use offload::{offload_plan, OffloadPlan};
+pub use remat::{optimal_schedule, sqrt_schedule, store_all, RematSchedule};

@@ -1,0 +1,176 @@
+//! Quality metrics: accuracy, confusion matrices, per-group breakdowns.
+
+/// Fraction of predictions equal to the labels.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "accuracy requires equal-length predictions and labels"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// A `classes x classes` confusion matrix; `matrix[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or any index `>= classes`.
+    pub fn new(predictions: &[usize], labels: &[usize], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len());
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < classes && l < classes, "class index out of range");
+            counts[l][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). `None` when never predicted.
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let predicted: usize = self.counts.iter().map(|row| row[c]).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(self.counts[c][c] as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). `None` when class never occurs.
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let actual: usize = self.counts[c].iter().sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(self.counts[c][c] as f64 / actual as f64)
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> Option<f64> {
+        let p = self.precision(c)?;
+        let r = self.recall(c)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.classes()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+}
+
+/// Accuracy computed separately per group label — the basic tool for the
+/// fairness experiments (`dl-fairness` builds richer metrics on top).
+///
+/// Returns `(group, accuracy, count)` sorted by group.
+pub fn grouped_accuracy(
+    predictions: &[usize],
+    labels: &[usize],
+    groups: &[usize],
+) -> Vec<(usize, f64, usize)> {
+    assert_eq!(predictions.len(), labels.len());
+    assert_eq!(predictions.len(), groups.len());
+    let mut per_group: std::collections::BTreeMap<usize, (usize, usize)> = Default::default();
+    for ((&p, &l), &g) in predictions.iter().zip(labels).zip(groups) {
+        let e = per_group.entry(g).or_insert((0, 0));
+        e.1 += 1;
+        if p == l {
+            e.0 += 1;
+        }
+    }
+    per_group
+        .into_iter()
+        .map(|(g, (correct, total))| (g, correct as f64 / total as f64, total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn accuracy_length_mismatch() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = ConfusionMatrix::new(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 0), 1);
+        assert_eq!(m.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        // predictions: class 0 predicted 3 times (2 right), class 1 once (right)
+        let m = ConfusionMatrix::new(&[0, 0, 0, 1], &[0, 0, 1, 1], 2);
+        assert_eq!(m.precision(0), Some(2.0 / 3.0));
+        assert_eq!(m.recall(0), Some(1.0));
+        assert_eq!(m.precision(1), Some(1.0));
+        assert_eq!(m.recall(1), Some(0.5));
+        let f1 = m.f1(1).unwrap();
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_none_when_never_predicted() {
+        let m = ConfusionMatrix::new(&[0, 0], &[0, 1], 3);
+        assert_eq!(m.precision(2), None);
+        assert_eq!(m.recall(2), None);
+    }
+
+    #[test]
+    fn grouped_accuracy_splits_by_group() {
+        let preds = [0, 0, 1, 1];
+        let labels = [0, 1, 1, 1];
+        let groups = [0, 0, 1, 1];
+        let g = grouped_accuracy(&preds, &labels, &groups);
+        assert_eq!(g, vec![(0, 0.5, 2), (1, 1.0, 2)]);
+    }
+}
