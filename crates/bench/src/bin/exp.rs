@@ -9,7 +9,7 @@ use dl_bench::{all_ids, run_experiment};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: exp <e1..e21|a1..a4|all> [more ids...] | --list");
+        eprintln!("usage: exp <e1..e22|a1..a4|all> [more ids...] | --list");
         std::process::exit(2);
     }
     if args.iter().any(|a| a == "--list") {

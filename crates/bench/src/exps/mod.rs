@@ -25,6 +25,7 @@ pub mod e18_lime;
 pub mod e19_mistique;
 pub mod e20_carbon;
 pub mod e21_tradeoff_navigator;
+pub mod e22_fault_tolerance;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -1,7 +1,7 @@
 //! # dl-bench
 //!
 //! The experiment harness: one module per experiment in `DESIGN.md`'s
-//! index (E1-E21), each regenerating one quantitative claim of the
+//! index (E1-E22), each regenerating one quantitative claim of the
 //! tutorial. The `exp` binary dispatches on experiment id and prints the
 //! result rows; every run also writes a JSON record under
 //! `target/experiments/` which `EXPERIMENTS.md` references and E21's
@@ -18,7 +18,7 @@ pub mod table;
 
 pub use table::{ExperimentResult, Table};
 
-/// Runs one experiment by id (`"e1"`..`"e21"`). Returns its result.
+/// Runs one experiment by id (`"e1"`..`"e22"`). Returns its result.
 ///
 /// # Errors
 /// Returns an error string for unknown ids.
@@ -45,19 +45,20 @@ pub fn run_experiment(id: &str) -> Result<ExperimentResult, String> {
         "e19" => Ok(exps::e19_mistique::run()),
         "e20" => Ok(exps::e20_carbon::run()),
         "e21" => Ok(exps::e21_tradeoff_navigator::run()),
+        "e22" => Ok(exps::e22_fault_tolerance::run()),
         "a1" => Ok(exps::a01_error_feedback::run()),
         "a2" => Ok(exps::a02_rmi_leaves::run()),
         "a3" => Ok(exps::a03_p3_slices::run()),
         "a4" => Ok(exps::a04_snapshot_cycles::run()),
         other => Err(format!(
-            "unknown experiment {other:?}; expected e1..e21, a1..a4, or 'all'"
+            "unknown experiment {other:?}; expected e1..e22, a1..a4, or 'all'"
         )),
     }
 }
 
-/// All experiment ids in order: claims E1-E21, then ablations A1-A4.
+/// All experiment ids in order: claims E1-E22, then ablations A1-A4.
 pub fn all_ids() -> Vec<String> {
-    let mut ids: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
+    let mut ids: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
     ids.extend((1..=4).map(|i| format!("a{i}")));
     ids
 }
@@ -86,6 +87,7 @@ pub fn describe(id: &str) -> &'static str {
         "e19" => "Mistique-lite intermediate store footprint",
         "e20" => "carbon: size x hardware x region + scheduling",
         "e21" => "tradeoff navigator: Pareto frontier",
+        "e22" => "fault tolerance: checkpoint interval vs completion time under crashes",
         "a1" => "ablation: error feedback in gradient compression",
         "a2" => "ablation: RMI leaf budget",
         "a3" => "ablation: P3 slice granularity",

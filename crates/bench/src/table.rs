@@ -70,7 +70,7 @@ impl Table {
 /// structured records E21 consumes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentResult {
-    /// Experiment id (`e1`..`e21`).
+    /// Experiment id (`e1`..`e22`).
     pub id: String,
     /// One-line title (the tutorial claim being regenerated).
     pub title: String,

@@ -73,6 +73,8 @@ pub enum Category {
     Fairness,
     /// Carbon/energy interventions.
     Green,
+    /// Fault tolerance: checkpointing, elastic membership, recovery.
+    Robustness,
 }
 
 /// A named, categorized measurement.

@@ -39,7 +39,8 @@ impl Default for LocalSgdConfig {
 }
 
 /// Outcome of a Local SGD run.
-#[derive(Debug, Clone)]
+#[must_use = "the report carries the accuracy/bytes/time measurements this run exists to produce"]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalSgdReport {
     /// Sync period used.
     pub sync_period: usize,
@@ -232,8 +233,9 @@ pub fn local_sgd_with_failures(
     )
 }
 
-/// Averages parameters over surviving workers only.
-fn average_surviving(nets: &mut [Network], alive: &[bool]) {
+/// Averages parameters over surviving workers only (also the averaging
+/// primitive of [`crate::resilient`]'s elastic driver).
+pub(crate) fn average_surviving(nets: &mut [Network], alive: &[bool]) {
     let living: Vec<usize> = (0..nets.len()).filter(|&w| alive[w]).collect();
     if living.len() <= 1 {
         return;
@@ -410,7 +412,7 @@ mod tests {
     #[should_panic(expected = "all workers failed")]
     fn total_failure_is_fatal() {
         let data = blobs(60, 2, 3, 6.0, 0.4, 13);
-        local_sgd_with_failures(
+        let _ = local_sgd_with_failures(
             &cluster(2),
             &data,
             &data,
@@ -427,7 +429,7 @@ mod tests {
     #[should_panic(expected = "sync_period must be positive")]
     fn zero_period_rejected() {
         let data = blobs(50, 2, 3, 6.0, 0.4, 5);
-        local_sgd(
+        let _ = local_sgd(
             &cluster(2),
             &data,
             &data,
@@ -437,5 +439,65 @@ mod tests {
                 ..LocalSgdConfig::default()
             },
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shard")]
+    fn dataset_smaller_than_worker_count_rejected() {
+        let data = blobs(3, 2, 3, 6.0, 0.4, 6);
+        let _ = local_sgd(
+            &cluster(4),
+            &data,
+            &data,
+            &[3, 4, 2],
+            &LocalSgdConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sync_period must be positive")]
+    fn zero_period_rejected_with_failures() {
+        let data = blobs(50, 2, 3, 6.0, 0.4, 7);
+        let _ = local_sgd_with_failures(
+            &cluster(2),
+            &data,
+            &data,
+            &[3, 4, 2],
+            &LocalSgdConfig {
+                sync_period: 0,
+                ..LocalSgdConfig::default()
+            },
+            &[],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown worker")]
+    fn failure_for_unknown_worker_rejected() {
+        let data = blobs(50, 2, 3, 6.0, 0.4, 8);
+        let _ = local_sgd_with_failures(
+            &cluster(2),
+            &data,
+            &data,
+            &[3, 4, 2],
+            &LocalSgdConfig::default(),
+            &[(5, 9)],
+        );
+    }
+
+    #[test]
+    fn same_seed_and_config_reproduce_identical_reports() {
+        let data = blobs(120, 2, 4, 6.0, 0.4, 14);
+        let eval = blobs(60, 2, 4, 6.0, 0.4, 15);
+        let cfg = LocalSgdConfig {
+            sync_period: 4,
+            steps: 60,
+            seed: 77,
+            ..LocalSgdConfig::default()
+        };
+        let (m1, r1) = local_sgd(&cluster(4), &data, &eval, &[4, 16, 2], &cfg);
+        let (m2, r2) = local_sgd(&cluster(4), &data, &eval, &[4, 16, 2], &cfg);
+        assert_eq!(r1, r2, "reports must be bit-identical across reruns");
+        assert_eq!(m1.flat_params(), m2.flat_params());
     }
 }

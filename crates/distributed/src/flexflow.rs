@@ -30,6 +30,7 @@ pub struct Placement {
 }
 
 /// Simulated cost of a strategy.
+#[must_use = "the cost breakdown is the output the placement search exists to produce"]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StrategyCost {
     /// Seconds per training iteration in pipelined steady state.
@@ -286,6 +287,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "assign every layer")]
     fn mismatched_assignment_rejected() {
-        Placement::single_device(3).simulate(&cluster(), &costs());
+        let _ = Placement::single_device(3).simulate(&cluster(), &costs());
     }
 }

@@ -118,6 +118,7 @@ impl GradCompressor {
 }
 
 /// Result of a compressed data-parallel training run.
+#[must_use = "the report carries the compression/accuracy measurements this run exists to produce"]
 #[derive(Debug, Clone)]
 pub struct GradCompressionReport {
     /// Compressor name.

@@ -19,17 +19,29 @@
 //!   layer-to-device placements driven by the simulator (§2.2).
 //! * [`morph`] — **MorphNet-style** iterative width optimization under a
 //!   resource budget (§2.2).
+//! * [`fault`] — deterministic, seeded **fault injection**: crash/rejoin,
+//!   link degradation and straggler schedules from MTBF/MTTR profiles.
+//! * [`checkpoint`] — checkpoint/restore of training state with a
+//!   simulated storage cost model.
+//! * [`resilient`] — **elastic Local SGD**: crash detection, group
+//!   re-formation, checkpoint rollback, allreduce retry with backoff.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod datapar;
+pub mod fault;
 pub mod flexflow;
 pub mod gradcomp;
 pub mod morph;
 pub mod priority;
+pub mod resilient;
 pub mod sim;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, StorageProfile};
 pub use datapar::{local_sgd, local_sgd_with_failures, LocalSgdConfig, LocalSgdReport};
+pub use fault::{FaultEvent, FaultPlan, FaultProfile};
+pub use resilient::{resilient_local_sgd, BackoffPolicy, ResilienceReport, ResilientConfig};
 pub use flexflow::{data_parallel_cost, optimize_placement, Placement, PlacementSearchConfig, StrategyCost};
 pub use gradcomp::{compressed_sgd, compressed_sgd_opts, GradCompressionReport, GradCompressor};
 pub use morph::{morph_resize, uniform_baseline, MorphConfig, MorphReport};

@@ -38,6 +38,7 @@ impl Default for MorphConfig {
 }
 
 /// Outcome of a morph run.
+#[must_use = "the report carries the width/accuracy measurements this run exists to produce"]
 #[derive(Debug, Clone)]
 pub struct MorphReport {
     /// Hidden widths after the final resize.

@@ -37,6 +37,7 @@ pub enum SchedulePolicy {
 }
 
 /// The simulated outcome of one iteration.
+#[must_use = "the schedule carries the timing measurements this simulation exists to produce"]
 #[derive(Debug, Clone)]
 pub struct CommSchedule {
     /// Policy simulated.
@@ -317,6 +318,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one layer")]
     fn empty_layers_rejected() {
-        schedule_backward_comm(&[], &Link::ethernet(), SchedulePolicy::Fifo);
+        let _ = schedule_backward_comm(&[], &Link::ethernet(), SchedulePolicy::Fifo);
     }
 }

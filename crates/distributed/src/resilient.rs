@@ -1,0 +1,710 @@
+//! Elastic, checkpointed Local SGD under injected faults.
+//!
+//! [`resilient_local_sgd`] wraps the machinery of [`crate::datapar`] in a
+//! TorchElastic-style recovery loop driven by a [`FaultPlan`]:
+//!
+//! * **Crash detection** — a crashed worker is noticed after a simulated
+//!   `detection_timeout`, the survivors re-form the averaging group with a
+//!   small control all-reduce, restore the latest [`Checkpoint`], and
+//!   resume from its step with the new (smaller) membership. Work since
+//!   the checkpoint is lost and re-executed — the "replay" half of the
+//!   checkpoint-interval tradeoff.
+//! * **Elastic membership** — a rejoining worker re-enters at a step
+//!   boundary: if the latest checkpoint is fresh enough
+//!   (`max_rejoin_staleness`) it restores from storage, otherwise it
+//!   bootstraps parameters directly from a live peer over the cluster
+//!   link. Either way the group grows back without a global restart.
+//! * **Allreduce retry** — while the plan degrades the link below
+//!   `BackoffPolicy::fail_threshold`, averaging rounds fail and retry
+//!   with exponentially growing backoff (all in simulated time).
+//!
+//! With an empty plan the driver executes *exactly* the fault-free
+//! trajectory of [`crate::datapar::local_sgd`] — the same RNG draws in
+//! the same order, the same `x * 1.0`-free arithmetic — so the final
+//! parameters are bit-identical (enforced by a regression test).
+
+use crate::checkpoint::{Checkpoint, CheckpointStore, StorageProfile};
+use crate::datapar::{average_surviving, LocalSgdConfig};
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::sim::Cluster;
+use dl_nn::{loss::one_hot, Dataset, Loss, Network, Optimizer};
+use dl_tensor::init;
+use rand::rngs::StdRng;
+
+/// Exponential-backoff policy for failed allreduce rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Simulated seconds waited after the first failed attempt; doubles
+    /// per retry.
+    pub initial: f64,
+    /// Maximum retries before the round proceeds degraded.
+    pub max_retries: usize,
+    /// An attempt fails while the effective link factor (plan factor
+    /// doubled per backoff round, modeling congestion draining) is at or
+    /// below this threshold. Must be `< 1` or healthy links would retry.
+    pub fail_threshold: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            initial: 1e-3,
+            max_retries: 6,
+            fail_threshold: 0.25,
+        }
+    }
+}
+
+/// Configuration for [`resilient_local_sgd`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// The underlying Local SGD configuration (seed, steps, sync period…).
+    pub base: LocalSgdConfig,
+    /// Steps between checkpoints (taken at sync boundaries, so the stored
+    /// parameters are the synchronized model). `0` keeps only the free
+    /// initial checkpoint — crashes roll all the way back to step 0.
+    pub checkpoint_interval: usize,
+    /// Storage target the checkpoints are written to.
+    pub storage: StorageProfile,
+    /// Simulated seconds for the survivors to notice a crash.
+    pub detection_timeout: f64,
+    /// Retry policy for degraded allreduce rounds.
+    pub backoff: BackoffPolicy,
+    /// Maximum steps of staleness a rejoiner may absorb from the latest
+    /// checkpoint; beyond it, parameters are fetched from a live peer.
+    pub max_rejoin_staleness: usize,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            base: LocalSgdConfig::default(),
+            checkpoint_interval: 16,
+            storage: StorageProfile::local_ssd(),
+            detection_timeout: 5e-3,
+            backoff: BackoffPolicy::default(),
+            max_rejoin_staleness: 64,
+        }
+    }
+}
+
+/// Outcome of a resilient Local SGD run.
+#[must_use = "the report carries the goodput and recovery accounting this run exists to measure"]
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Sync period used.
+    pub sync_period: usize,
+    /// Checkpoint interval used (0 = initial checkpoint only).
+    pub checkpoint_interval: usize,
+    /// Final accuracy of the surviving averaged model.
+    pub accuracy: f64,
+    /// Total simulated seconds, including detection, recovery, retries
+    /// and checkpoint writes.
+    pub simulated_seconds: f64,
+    /// Gradient + bootstrap bytes moved across the cluster.
+    pub bytes_communicated: u64,
+    /// Averaging rounds completed.
+    pub sync_rounds: usize,
+    /// Samples trained across all workers, including work later lost.
+    pub total_samples: u64,
+    /// Samples whose effect survived into the final model.
+    pub useful_samples: u64,
+    /// Samples lost to rollbacks (`total - useful`).
+    pub lost_samples: u64,
+    /// Useful samples per simulated second — the headline metric.
+    pub goodput: f64,
+    /// Crash events experienced.
+    pub crashes: usize,
+    /// Rejoin events experienced.
+    pub rejoins: usize,
+    /// Rollbacks to a checkpoint (one per detected crash).
+    pub rollbacks: usize,
+    /// Failed allreduce attempts that were retried.
+    pub allreduce_retries: usize,
+    /// Simulated seconds spent detecting, regrouping, restoring and
+    /// backing off.
+    pub recovery_seconds: f64,
+    /// Simulated seconds spent writing checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Checkpoints written (excluding the free initial one).
+    pub checkpoints_written: usize,
+    /// Bytes written to checkpoint storage.
+    pub checkpoint_bytes: u64,
+    /// Workers alive at the end of the run.
+    pub final_workers: usize,
+}
+
+/// Runs elastic Local SGD under the given fault plan.
+///
+/// Setup (sharding, seeding, initialization) is identical to
+/// [`crate::datapar::local_sgd`]; see the module docs for the recovery
+/// semantics. Returns the final surviving model and the report.
+///
+/// # Panics
+/// Panics on `sync_period == 0`, a dataset smaller than the worker
+/// count, a plan referencing an unknown worker, or a plan that kills
+/// every worker with no rejoin (training cannot make progress).
+pub fn resilient_local_sgd(
+    cluster: &Cluster,
+    data: &Dataset,
+    eval: &Dataset,
+    dims: &[usize],
+    config: &ResilientConfig,
+    plan: &FaultPlan,
+) -> (Network, ResilienceReport) {
+    let base = &config.base;
+    assert!(base.sync_period > 0, "sync_period must be positive");
+    let workers = cluster.len();
+    assert!(
+        data.len() >= workers,
+        "dataset of {} rows cannot shard across {workers} workers",
+        data.len()
+    );
+    for e in plan.events() {
+        if let FaultEvent::WorkerCrash { worker, .. }
+        | FaultEvent::WorkerRejoin { worker, .. }
+        | FaultEvent::Straggler { worker, .. } = *e
+        {
+            assert!(worker < workers, "fault plan names an unknown worker");
+        }
+    }
+
+    // Setup mirrors `local_sgd` exactly (same RNG construction order) so
+    // an empty plan reproduces its trajectory bit for bit.
+    let mut seed_rng = init::rng(base.seed);
+    let reference = Network::mlp(dims, &mut seed_rng);
+    let mut nets: Vec<Network> = (0..workers).map(|_| reference.clone()).collect();
+    let mut opts: Vec<Optimizer> = (0..workers).map(|_| Optimizer::sgd(base.lr)).collect();
+    let shards: Vec<Vec<usize>> = (0..workers)
+        .map(|w| (w..data.len()).step_by(workers).collect())
+        .collect();
+    let mut shard_rngs: Vec<StdRng> = (0..workers)
+        .map(|w| init::rng(base.seed.wrapping_add(w as u64 + 1)))
+        .collect();
+    let step_flops = reference.cost_profile(base.batch_size).train_step_flops();
+    let grad_bytes = (reference.param_count() * 4) as u64;
+
+    let mut alive = vec![true; workers];
+    let mut cursors = vec![0u64; workers];
+    let mut store = CheckpointStore::new(config.storage);
+    store.seed_initial(Checkpoint {
+        step: 0,
+        params: reference.flat_params(),
+        optimizer: Optimizer::sgd(base.lr),
+        cursors: cursors.clone(),
+    });
+    let mut last_ckpt_step = 0usize;
+    let mut samples_since_ckpt = 0u64;
+
+    // Membership events fire exactly once: the index only advances, so a
+    // rollback (which rewinds `step`) cannot re-trigger a crash.
+    let membership: Vec<FaultEvent> = plan
+        .events()
+        .iter()
+        .copied()
+        .filter(FaultEvent::is_membership)
+        .collect();
+    let mut next_event = 0usize;
+
+    let mut bytes = 0u64;
+    let mut seconds = 0.0f64;
+    let mut rounds = 0usize;
+    let mut total_samples = 0u64;
+    let mut lost_samples = 0u64;
+    let mut crashes = 0usize;
+    let mut rejoins = 0usize;
+    let mut rollbacks = 0usize;
+    let mut retries = 0usize;
+    let mut recovery_seconds = 0.0f64;
+    let mut aborted = false;
+
+    let regroup_bytes = 64u64; // membership-agreement control message
+
+    let mut step = 0usize;
+    'training: while step < base.steps {
+        // Fire due membership events, one at a time (a crash rewinds
+        // `step`, so remaining same-step events re-fire checks later).
+        while next_event < membership.len() && membership[next_event].at_step() <= step {
+            let event = membership[next_event];
+            next_event += 1;
+            match event {
+                FaultEvent::WorkerCrash { worker, .. } if alive[worker] => {
+                    alive[worker] = false;
+                    crashes += 1;
+                    let factor = plan.link_factor_at(step);
+                    // detect, re-form the group, restore, roll back
+                    let regroup = cluster.allreduce_time(regroup_bytes) / factor;
+                    let detect = config.detection_timeout + regroup;
+                    seconds += detect;
+                    recovery_seconds += detect;
+                    if alive.iter().any(|&a| a) {
+                        let read = store.charge_read();
+                        seconds += read;
+                        recovery_seconds += read;
+                        let ckpt = store.latest().expect("store is seeded").clone();
+                        rollback(
+                            &ckpt,
+                            &mut nets,
+                            &mut opts,
+                            &mut cursors,
+                            &mut shard_rngs,
+                            &shards,
+                            &alive,
+                            base,
+                        );
+                        lost_samples += samples_since_ckpt;
+                        samples_since_ckpt = 0;
+                        rollbacks += 1;
+                        step = ckpt.step;
+                        continue 'training;
+                    }
+                    // Everyone is gone: salvage the last checkpoint below.
+                    aborted = true;
+                    break 'training;
+                }
+                FaultEvent::WorkerRejoin { worker, .. } if !alive[worker] => {
+                    let factor = plan.link_factor_at(step);
+                    let regroup = cluster.allreduce_time(regroup_bytes) / factor;
+                    seconds += regroup;
+                    recovery_seconds += regroup;
+                    let ckpt_step = store.latest().expect("store is seeded").step;
+                    if step - ckpt_step <= config.max_rejoin_staleness {
+                        // fresh enough: restore from storage
+                        let read = store.charge_read();
+                        seconds += read;
+                        recovery_seconds += read;
+                        let ckpt = store.latest().expect("store is seeded");
+                        ckpt.restore_into(&mut nets[worker]);
+                        opts[worker] = ckpt.optimizer.clone();
+                        cursors[worker] = ckpt.cursors[worker];
+                    } else {
+                        // too stale: pull live parameters from a peer
+                        let peer = (0..workers)
+                            .find(|&w| alive[w])
+                            .expect("a rejoin implies a live peer or a prior abort");
+                        let fetch = cluster.link.transfer_time(grad_bytes) / factor;
+                        seconds += fetch;
+                        recovery_seconds += fetch;
+                        bytes += grad_bytes;
+                        let params = nets[peer].flat_params();
+                        nets[worker].set_flat_params(&params);
+                        opts[worker] = Optimizer::sgd(base.lr);
+                    }
+                    shard_rngs[worker] = replayed_rng(
+                        base.seed,
+                        worker,
+                        shards[worker].len(),
+                        cursors[worker],
+                    );
+                    alive[worker] = true;
+                    rejoins += 1;
+                }
+                _ => {} // crash of a dead worker / rejoin of a live one: no-op
+            }
+        }
+
+        let living: Vec<usize> = (0..workers).filter(|&w| alive[w]).collect();
+        for &w in &living {
+            let idx: Vec<usize> = (0..base.batch_size)
+                .map(|_| shards[w][init::sample_indices(shards[w].len(), 1, &mut shard_rngs[w])[0]])
+                .collect();
+            let xb = data.x.select_rows(&idx);
+            let labels: Vec<usize> = idx.iter().map(|&i| data.y[i]).collect();
+            let targets = one_hot(&labels, data.classes);
+            nets[w].zero_grads();
+            let logits = nets[w].forward(&xb, true);
+            let (_, grad) = Loss::SoftmaxCrossEntropy.evaluate(&logits, &targets);
+            nets[w].backward(&grad);
+            let mut pg = nets[w].params_and_grads();
+            opts[w].step(&mut pg, 1.0);
+            cursors[w] += base.batch_size as u64;
+        }
+        let drawn = (base.batch_size * living.len()) as u64;
+        total_samples += drawn;
+        samples_since_ckpt += drawn;
+
+        // Slowest living worker dominates, stragglers included. With all
+        // workers healthy this folds the same values as `local_sgd`
+        // (`x * 1.0` is bit-exact).
+        seconds += living
+            .iter()
+            .map(|&w| cluster.devices[w].compute_time(step_flops) * plan.slowdown_at(step, w))
+            .fold(0.0, f64::max);
+
+        if (step + 1) % base.sync_period == 0 {
+            average_surviving(&mut nets, &alive);
+            let factor = plan.link_factor_at(step);
+            let base_t = cluster.allreduce_time(grad_bytes);
+            // A degraded round fails until exponential backoff has widened
+            // the retry window enough (deterministic congestion model).
+            let mut attempt = 0i32;
+            while (attempt as usize) < config.backoff.max_retries
+                && factor * f64::powi(2.0, attempt) <= config.backoff.fail_threshold
+            {
+                let wasted = base_t / factor + config.backoff.initial * f64::powi(2.0, attempt);
+                seconds += wasted;
+                recovery_seconds += wasted;
+                retries += 1;
+                attempt += 1;
+            }
+            let effective = (factor * f64::powi(2.0, attempt)).min(1.0);
+            seconds += base_t / effective;
+            bytes += grad_bytes * living.len() as u64;
+            rounds += 1;
+
+            if config.checkpoint_interval > 0
+                && (step + 1) - last_ckpt_step >= config.checkpoint_interval
+            {
+                let lead = living[0];
+                let write = store.save(Checkpoint {
+                    step: step + 1,
+                    params: nets[lead].flat_params(),
+                    optimizer: opts[lead].clone(),
+                    cursors: cursors.clone(),
+                });
+                seconds += write;
+                last_ckpt_step = step + 1;
+                samples_since_ckpt = 0;
+            }
+        }
+        step += 1;
+    }
+
+    let (mut model, final_workers) = if aborted {
+        lost_samples += samples_since_ckpt;
+        let ckpt = store.latest().expect("store is seeded");
+        let mut net = reference;
+        ckpt.restore_into(&mut net);
+        (net, 0)
+    } else {
+        average_surviving(&mut nets, &alive);
+        let survivor = (0..workers)
+            .find(|&w| alive[w])
+            .expect("non-aborted run has a survivor");
+        (nets.swap_remove(survivor), alive.iter().filter(|&&a| a).count())
+    };
+    model.clear_caches();
+    let accuracy = dl_nn::metrics::accuracy(&model.predict(&eval.x), &eval.y);
+
+    let useful_samples = total_samples - lost_samples;
+    let goodput = if seconds > 0.0 {
+        useful_samples as f64 / seconds
+    } else {
+        0.0
+    };
+    (
+        model,
+        ResilienceReport {
+            sync_period: base.sync_period,
+            checkpoint_interval: config.checkpoint_interval,
+            accuracy,
+            simulated_seconds: seconds,
+            bytes_communicated: bytes,
+            sync_rounds: rounds,
+            total_samples,
+            useful_samples,
+            lost_samples,
+            goodput,
+            crashes,
+            rejoins,
+            rollbacks,
+            allreduce_retries: retries,
+            recovery_seconds,
+            checkpoint_seconds: store.write_seconds,
+            checkpoints_written: store.writes,
+            checkpoint_bytes: store.bytes_written,
+            final_workers,
+        },
+    )
+}
+
+/// Restores every worker's training state from `ckpt`: parameters and
+/// optimizer for the live workers, shard cursors for everyone (a dead
+/// worker's cursor is rebuilt into an RNG when it rejoins).
+#[allow(clippy::too_many_arguments)]
+fn rollback(
+    ckpt: &Checkpoint,
+    nets: &mut [Network],
+    opts: &mut [Optimizer],
+    cursors: &mut [u64],
+    shard_rngs: &mut [StdRng],
+    shards: &[Vec<usize>],
+    alive: &[bool],
+    base: &LocalSgdConfig,
+) {
+    for w in 0..nets.len() {
+        cursors[w] = ckpt.cursors[w];
+        if alive[w] {
+            ckpt.restore_into(&mut nets[w]);
+            opts[w] = ckpt.optimizer.clone();
+            shard_rngs[w] = replayed_rng(base.seed, w, shards[w].len(), cursors[w]);
+        }
+    }
+}
+
+/// Rebuilds a worker's sampling RNG in the exact state it had after
+/// drawing `draws` samples: recreate the seeded stream and replay the
+/// draws (each batch sample consumes one `sample_indices` call).
+fn replayed_rng(seed: u64, worker: usize, shard_len: usize, draws: u64) -> StdRng {
+    let mut rng = init::rng(seed.wrapping_add(worker as u64 + 1));
+    for _ in 0..draws {
+        let _ = init::sample_indices(shard_len, 1, &mut rng);
+    }
+    rng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapar::local_sgd;
+    use crate::fault::FaultProfile;
+    use crate::sim::{Device, Link};
+    use dl_data::blobs;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(n, Device::accelerator(), Link::ethernet())
+    }
+
+    fn small_config(steps: usize, sync_period: usize, interval: usize) -> ResilientConfig {
+        ResilientConfig {
+            base: LocalSgdConfig {
+                sync_period,
+                steps,
+                batch_size: 8,
+                lr: 0.05,
+                seed: 0,
+            },
+            checkpoint_interval: interval,
+            ..ResilientConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_fault_run_is_bit_identical_to_local_sgd() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 0);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 1);
+        let dims = [6, 16, 3];
+        // interval 0: only the free initial checkpoint, so even the
+        // simulated clock matches the fault-free driver exactly.
+        let config = small_config(40, 4, 0);
+        let plan = FaultPlan::from_profile(&FaultProfile::none(5), 4, 40);
+        assert!(plan.is_empty());
+        let (plain_net, plain) = local_sgd(&cluster(4), &data, &eval, &dims, &config.base);
+        let (res_net, report) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        assert_eq!(plain_net.flat_params(), res_net.flat_params());
+        assert_eq!(report.accuracy, plain.accuracy);
+        assert_eq!(report.bytes_communicated, plain.bytes_communicated);
+        assert_eq!(report.sync_rounds, plain.sync_rounds);
+        assert_eq!(report.simulated_seconds, plain.simulated_seconds);
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.lost_samples, 0);
+        assert_eq!(report.useful_samples, report.total_samples);
+        assert_eq!(report.final_workers, 4);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 2);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 3);
+        let dims = [6, 16, 3];
+        let config = small_config(48, 4, 8);
+        let plan = FaultPlan::from_profile(&FaultProfile::crashes(21, 20.0, 10.0), 4, 48);
+        let run = || resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        let (net_a, rep_a) = run();
+        let (net_b, rep_b) = run();
+        assert_eq!(net_a.flat_params(), net_b.flat_params());
+        assert_eq!(rep_a, rep_b);
+    }
+
+    #[test]
+    fn crash_triggers_rollback_and_costs_time() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 4);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 5);
+        let dims = [6, 16, 3];
+        let config = small_config(40, 4, 8);
+        let clean = FaultPlan::none();
+        let faulty = FaultPlan::new(vec![FaultEvent::WorkerCrash {
+            worker: 2,
+            at_step: 21,
+        }]);
+        let (_, base) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &clean);
+        let (_, hit) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &faulty);
+        assert_eq!(hit.crashes, 1);
+        assert_eq!(hit.rollbacks, 1);
+        assert_eq!(hit.final_workers, 3);
+        // rolled back from step 21 to the step-16 checkpoint
+        assert!(hit.lost_samples > 0, "work since the checkpoint is lost");
+        assert!(hit.recovery_seconds > 0.0);
+        assert!(hit.simulated_seconds > base.simulated_seconds);
+        assert!(hit.goodput < base.goodput);
+        // survivors keep learning
+        assert!(hit.accuracy > 0.6, "accuracy {}", hit.accuracy);
+    }
+
+    #[test]
+    fn rejoin_restores_membership() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 6);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 7);
+        let dims = [6, 16, 3];
+        let config = small_config(48, 4, 8);
+        let plan = FaultPlan::new(vec![
+            FaultEvent::WorkerCrash {
+                worker: 1,
+                at_step: 10,
+            },
+            FaultEvent::WorkerRejoin {
+                worker: 1,
+                at_step: 26,
+            },
+        ]);
+        let (_, report) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.rejoins, 1);
+        assert_eq!(report.final_workers, 4);
+    }
+
+    #[test]
+    fn stale_rejoin_bootstraps_from_peer() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 6);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 7);
+        let dims = [6, 16, 3];
+        let mut config = small_config(48, 4, 8);
+        config.max_rejoin_staleness = 0; // every rejoin is "too stale"
+        let plan = FaultPlan::new(vec![
+            FaultEvent::WorkerCrash {
+                worker: 1,
+                at_step: 10,
+            },
+            FaultEvent::WorkerRejoin {
+                worker: 1,
+                at_step: 27, // not a checkpoint step, so staleness > 0
+            },
+        ]);
+        let clean_bytes = {
+            let (_, r) =
+                resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &FaultPlan::none());
+            r.bytes_communicated
+        };
+        let (_, report) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        assert_eq!(report.rejoins, 1);
+        // the peer bootstrap moved one model's worth of extra bytes,
+        // though the crash also removed the dead worker's sync traffic
+        assert!(report.bytes_communicated != clean_bytes);
+        assert_eq!(report.final_workers, 4);
+    }
+
+    #[test]
+    fn link_degradation_forces_retries() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 8);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 9);
+        let dims = [6, 16, 3];
+        let config = small_config(24, 4, 0);
+        let plan = FaultPlan::new(vec![FaultEvent::LinkDegrade {
+            factor: 0.05,
+            from_step: 4,
+            to_step: 12,
+        }]);
+        let (_, clean) =
+            resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &FaultPlan::none());
+        let (_, degraded) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        assert!(degraded.allreduce_retries > 0);
+        assert!(degraded.simulated_seconds > clean.simulated_seconds);
+        assert_eq!(degraded.crashes, 0);
+    }
+
+    #[test]
+    fn straggler_slows_the_clock_not_the_model() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 8);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 9);
+        let dims = [6, 16, 3];
+        let config = small_config(24, 4, 0);
+        let plan = FaultPlan::new(vec![FaultEvent::Straggler {
+            worker: 3,
+            slowdown: 10.0,
+            from_step: 0,
+            to_step: 24,
+        }]);
+        let (clean_net, clean) =
+            resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &FaultPlan::none());
+        let (slow_net, slow) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        // a straggler changes time, not the parameter trajectory
+        assert_eq!(clean_net.flat_params(), slow_net.flat_params());
+        assert!(slow.simulated_seconds > clean.simulated_seconds);
+        assert!(slow.goodput < clean.goodput);
+    }
+
+    #[test]
+    fn all_workers_dead_salvages_checkpoint() {
+        let data = blobs(120, 3, 6, 6.0, 0.5, 10);
+        let eval = blobs(60, 3, 6, 6.0, 0.5, 11);
+        let dims = [6, 16, 3];
+        let config = small_config(40, 4, 8);
+        let plan = FaultPlan::new(
+            (0..4)
+                .map(|w| FaultEvent::WorkerCrash {
+                    worker: w,
+                    at_step: 20,
+                })
+                .collect(),
+        );
+        let (_, report) = resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+        assert_eq!(report.final_workers, 0);
+        assert!(report.sync_rounds < 10, "run must have stopped early");
+        assert!(report.accuracy > 0.0);
+    }
+
+    /// Goodput must not increase as crashes are added. Checked on nested
+    /// plans: each prefix of a crash schedule is a strictly less faulty
+    /// run of the same trajectory.
+    fn check_goodput_monotone(crash_steps: Vec<usize>) {
+        let data = blobs(96, 3, 6, 6.0, 0.5, 12);
+        let eval = blobs(48, 3, 6, 6.0, 0.5, 13);
+        let dims = [6, 16, 3];
+        let config = small_config(48, 4, 8);
+        let mut steps = crash_steps;
+        steps.sort_unstable();
+        let mut last = f64::INFINITY;
+        for k in 0..=steps.len() {
+            // worker 0 never crashes, so the run always completes
+            let events = steps[..k]
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| FaultEvent::WorkerCrash {
+                    worker: 1 + (i % 3),
+                    at_step: s,
+                })
+                .collect();
+            let plan = FaultPlan::new(events);
+            let (_, report) =
+                resilient_local_sgd(&cluster(4), &data, &eval, &dims, &config, &plan);
+            assert!(
+                report.goodput <= last + 1e-9,
+                "goodput rose from {last} to {} at {k} crashes",
+                report.goodput
+            );
+            last = report.goodput;
+        }
+    }
+
+    /// Deterministic spot-checks of the monotonicity contract; the
+    /// property test below randomizes the schedule.
+    #[test]
+    fn goodput_non_increasing_fixed_schedules() {
+        check_goodput_monotone(vec![3, 19, 40]);
+        check_goodput_monotone(vec![10, 11, 12]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(8))]
+        /// Property: goodput is monotonically non-increasing in the number
+        /// of crashes (acceptance criterion for the fault framework).
+        #[test]
+        fn goodput_non_increasing_in_crash_rate(
+            a in 1usize..16,
+            b in 16usize..32,
+            c in 32usize..46,
+        ) {
+            check_goodput_monotone(vec![a, b, c]);
+        }
+    }
+}
