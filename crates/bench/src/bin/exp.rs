@@ -1,31 +1,93 @@
-//! The experiment runner: `exp <id>...` or `exp all`.
+//! The experiment runner: `exp <id>... [--trace <path>]` or `exp all`.
 //!
 //! Prints each experiment's table and verdict and writes a JSON record to
 //! `target/experiments/<id>.json` (override the directory with
-//! `DL_EXPERIMENT_DIR`).
+//! `DL_EXPERIMENT_DIR`). With `--trace <path>`, every selected experiment
+//! is recorded onto one shared timeline and exported as a Chrome
+//! `trace_event` JSON file (loadable in `chrome://tracing` or Perfetto).
+//!
+//! Exit codes: `0` success, `1` an experiment failed, `2` bad usage
+//! (unknown id or flag — detected before anything runs).
 
-use dl_bench::{all_ids, run_experiment};
+use dl_bench::{all_ids, run_experiment_traced};
+use dl_obs::{export, NullRecorder, Recorder, TimelineRecorder};
+
+struct Args {
+    ids: Vec<String>,
+    trace_path: Option<String>,
+    list: bool,
+}
+
+/// Parses the command line; returns an error message for bad usage.
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut trace_path = None;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) if !p.starts_with('-') => trace_path = Some(p.clone()),
+                    _ => return Err("--trace requires a file path".into()),
+                }
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            "all" => ids.extend(all_ids()),
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if !list && ids.is_empty() {
+        return Err("no experiments selected".into());
+    }
+    // Validate every id up front so a typo exits before hours of runs.
+    let known = all_ids();
+    for id in &ids {
+        let canonical = id.to_ascii_lowercase();
+        if !known.contains(&canonical) {
+            return Err(format!(
+                "unknown experiment {id:?}; expected e1..e23, a1..a4, or 'all'"
+            ));
+        }
+    }
+    Ok(Args {
+        ids,
+        trace_path,
+        list,
+    })
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: exp <e1..e22|a1..a4|all> [more ids...] | --list");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: exp <e1..e23|a1..a4|all> [more ids...] [--trace <path>] | --list");
         std::process::exit(2);
     }
-    if args.iter().any(|a| a == "--list") {
+    let args = match parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
         for id in all_ids() {
             println!("{id:<4} {}", dl_bench::describe(&id));
         }
         return;
     }
-    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
-        all_ids()
-    } else {
-        args
-    };
+
+    let timeline = args.trace_path.as_ref().map(|_| TimelineRecorder::new());
+    let null = NullRecorder::new();
     let mut failed = false;
-    for id in ids {
-        match run_experiment(&id) {
+    for id in &args.ids {
+        let rec: &dyn Recorder = timeline.as_ref().map_or(&null, |t| t as &dyn Recorder);
+        match run_experiment_traced(id, rec) {
             Ok(result) => {
                 println!("{}", result.render());
                 match result.save() {
@@ -35,6 +97,16 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let (Some(path), Some(timeline)) = (&args.trace_path, &timeline) {
+        let trace = export::chrome_trace_to_string(&timeline.events());
+        match std::fs::write(path, trace) {
+            Ok(()) => println!("trace: {path} ({} events)", timeline.len()),
+            Err(e) => {
+                eprintln!("error: could not write trace to {path}: {e}");
                 failed = true;
             }
         }

@@ -3,12 +3,18 @@
 //! Claim: training communicates less as the averaging period grows, with
 //! only a modest accuracy cost.
 
-use crate::table::{bytes, f3, ExperimentResult, Table};
-use dl_distributed::{local_sgd, Cluster, Device, Link, LocalSgdConfig};
-use serde_json::json;
+use crate::table::{bytes, f3, fields_json, ExperimentResult, Table};
+use dl_distributed::{local_sgd_traced, Cluster, Device, Link, LocalSgdConfig};
+use dl_obs::{NullRecorder, Recorder, ToFields};
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
+    run_with(&NullRecorder::new())
+}
+
+/// Runs the experiment, tracing every sweep point onto `rec` (each sync
+/// period becomes one `local_sgd` span on the shared timeline).
+pub fn run_with(rec: &dyn Recorder) -> ExperimentResult {
     let data = dl_data::blobs(400, 3, 8, 6.0, 0.5, 6);
     let eval = dl_data::blobs(150, 3, 8, 6.0, 0.5, 7);
     let cluster = Cluster::homogeneous(4, Device::accelerator(), Link::ethernet());
@@ -18,7 +24,7 @@ pub fn run() -> ExperimentResult {
     let mut records = Vec::new();
     let mut results = Vec::new();
     for period in [1usize, 4, 16, 64] {
-        let (_, report) = local_sgd(
+        let (_, report) = local_sgd_traced(
             &cluster,
             &data,
             &eval,
@@ -30,6 +36,7 @@ pub fn run() -> ExperimentResult {
                 lr: 0.05,
                 seed: 20,
             },
+            rec,
         );
         table.row(&[
             format!("{period}"),
@@ -38,11 +45,8 @@ pub fn run() -> ExperimentResult {
             format!("{:.4}", report.simulated_seconds),
             format!("{}", report.sync_rounds),
         ]);
-        records.push(json!({
-            "sync_period": period, "accuracy": report.accuracy,
-            "bytes": report.bytes_communicated,
-            "sim_seconds": report.simulated_seconds,
-        }));
+        // the span-annotation schema doubles as the JSON record
+        records.push(fields_json(&report.to_fields()));
         results.push(report);
     }
     let comm_drops = results.windows(2).all(|w| w[1].bytes_communicated < w[0].bytes_communicated);

@@ -8,13 +8,13 @@
 //! each crash — and Local SGD's larger sync periods make recovery
 //! cheaper by shrinking the per-step replay cost.
 
-use crate::table::{f3, ExperimentResult, Table};
+use crate::table::{f3, fields_json, ExperimentResult, Table};
 use dl_core::{Category, Constraint, Metrics, Registry, Technique, TradeoffNavigator};
 use dl_distributed::{
-    resilient_local_sgd, Cluster, Device, FaultEvent, FaultPlan, FaultProfile, Link,
+    resilient_local_sgd_traced, Cluster, Device, FaultEvent, FaultPlan, FaultProfile, Link,
     LocalSgdConfig, ResilientConfig, StorageProfile,
 };
-use serde_json::json;
+use dl_obs::{NullRecorder, Recorder, ToFields};
 
 const STEPS: usize = 256;
 const WORKERS: usize = 4;
@@ -23,7 +23,7 @@ const WORKERS: usize = 4;
 /// configuration runs to completion and the sweeps stay comparable.
 /// Scans seeds deterministically so the sweep always has several crashes
 /// to recover from, whatever the RNG deals to individual seeds.
-fn faulty_plan() -> FaultPlan {
+pub(crate) fn faulty_plan() -> FaultPlan {
     (97u64..117)
         .map(|seed| {
             let profile = FaultProfile::crashes(seed, 48.0, 16.0);
@@ -46,8 +46,20 @@ fn faulty_plan() -> FaultPlan {
         .expect("some seed in the scan must crash workers 1..4 repeatedly")
 }
 
+/// The sweep configuration whose trace tells the headline story: Local
+/// SGD (sync 8) with the interior-optimal checkpoint interval under the
+/// faulty plan. `run_with` threads the recorder into exactly this run.
+pub const TRACED_CONFIG: (&str, usize, usize) = ("mtbf48", 8, 32);
+
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
+    run_with(&NullRecorder::new())
+}
+
+/// Runs the experiment, tracing the [`TRACED_CONFIG`] sweep point onto
+/// `rec` (crashes, rollbacks, rejoins and checkpoint writes become
+/// events; see `dl_distributed::resilient_local_sgd_traced`).
+pub fn run_with(rec: &dyn Recorder) -> ExperimentResult {
     let data = dl_data::blobs(400, 3, 8, 6.0, 0.5, 6);
     let eval = dl_data::blobs(150, 3, 8, 6.0, 0.5, 7);
     let cluster = Cluster::homogeneous(WORKERS, Device::accelerator(), Link::ethernet());
@@ -79,8 +91,15 @@ pub fn run() -> ExperimentResult {
                     detection_timeout: 5e-3,
                     ..ResilientConfig::default()
                 };
-                let (net, report) =
-                    resilient_local_sgd(&cluster, &data, &eval, &dims, &config, plan);
+                let null = NullRecorder::new();
+                let point_rec: &dyn Recorder = if (label, sync_period, interval) == TRACED_CONFIG {
+                    rec
+                } else {
+                    &null
+                };
+                let (net, report) = resilient_local_sgd_traced(
+                    &cluster, &data, &eval, &dims, &config, plan, point_rec,
+                );
                 table.row(&[
                     label.into(),
                     format!("{sync_period}"),
@@ -96,18 +115,11 @@ pub fn run() -> ExperimentResult {
                     format!("{:.4}", report.checkpoint_seconds),
                     f3(report.accuracy),
                 ]);
-                records.push(json!({
-                    "faults": label, "sync_period": sync_period,
-                    "checkpoint_interval": interval,
-                    "simulated_seconds": report.simulated_seconds,
-                    "goodput": report.goodput,
-                    "lost_samples": report.lost_samples,
-                    "useful_samples": report.useful_samples,
-                    "recovery_seconds": report.recovery_seconds,
-                    "checkpoint_seconds": report.checkpoint_seconds,
-                    "crashes": report.crashes, "rejoins": report.rejoins,
-                    "accuracy": report.accuracy,
-                }));
+                // One serialization path: the same fields annotate the
+                // run span and become the machine-readable record.
+                let mut fields = report.to_fields();
+                fields.insert(0, ("faults".to_string(), label.into()));
+                records.push(fields_json(&fields));
                 seconds.insert((label, sync_period, interval), report.simulated_seconds);
                 if label == "mtbf48" {
                     let step_flops = net.cost_profile(16).train_step_flops();

@@ -26,6 +26,7 @@ pub mod e19_mistique;
 pub mod e20_carbon;
 pub mod e21_tradeoff_navigator;
 pub mod e22_fault_tolerance;
+pub mod e23_observability;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -1,15 +1,18 @@
 //! # dl-bench
 //!
 //! The experiment harness: one module per experiment in `DESIGN.md`'s
-//! index (E1-E22), each regenerating one quantitative claim of the
+//! index (E1-E23), each regenerating one quantitative claim of the
 //! tutorial. The `exp` binary dispatches on experiment id and prints the
 //! result rows; every run also writes a JSON record under
 //! `target/experiments/` which `EXPERIMENTS.md` references and E21's
-//! tradeoff navigator re-reads.
+//! tradeoff navigator re-reads. `exp <id> --trace <path>` additionally
+//! exports the run as a Chrome `trace_event` file.
 //!
 //! Determinism: every experiment takes no inputs and uses fixed seeds, so
 //! reruns reproduce identical rows (Criterion wall-clock benches in
-//! `benches/` are the only timing-sensitive artifacts).
+//! `benches/` are the only timing-sensitive artifacts). Traces are
+//! timestamped by `dl_obs::VirtualClock` simulated time, so they are
+//! byte-reproducible too.
 
 #![warn(missing_docs)]
 
@@ -18,17 +21,41 @@ pub mod table;
 
 pub use table::{ExperimentResult, Table};
 
-/// Runs one experiment by id (`"e1"`..`"e22"`). Returns its result.
+use dl_obs::{fields, NullRecorder, Recorder};
+
+/// Runs one experiment by id (`"e1"`..`"e23"`). Returns its result.
 ///
 /// # Errors
 /// Returns an error string for unknown ids.
 pub fn run_experiment(id: &str) -> Result<ExperimentResult, String> {
-    match id.to_ascii_lowercase().as_str() {
+    run_experiment_traced(id, &NullRecorder::new())
+}
+
+/// Runs one experiment by id, emitting events onto `rec`: every
+/// experiment becomes an `experiment` span, and the instrumented
+/// experiments (E5's Local SGD sweep, E22's headline fault scenario)
+/// additionally thread the recorder into their training drivers.
+///
+/// # Errors
+/// Returns an error string for unknown ids.
+pub fn run_experiment_traced(id: &str, rec: &dyn Recorder) -> Result<ExperimentResult, String> {
+    let canonical = id.to_ascii_lowercase();
+    let span = rec.span_start(0, "experiment", fields! { "id" => canonical.as_str() });
+    let result = dispatch(&canonical, rec);
+    match &result {
+        Ok(r) => rec.span_end(span, fields! { "id" => canonical.as_str(), "verdict" => r.verdict.as_str() }),
+        Err(e) => rec.span_end(span, fields! { "id" => canonical.as_str(), "error" => e.as_str() }),
+    }
+    result
+}
+
+fn dispatch(id: &str, rec: &dyn Recorder) -> Result<ExperimentResult, String> {
+    match id {
         "e1" => Ok(exps::e01_quantization::run()),
         "e2" => Ok(exps::e02_pruning::run()),
         "e3" => Ok(exps::e03_distillation::run()),
         "e4" => Ok(exps::e04_ensembles::run()),
-        "e5" => Ok(exps::e05_local_sgd::run()),
+        "e5" => Ok(exps::e05_local_sgd::run_with(rec)),
         "e6" => Ok(exps::e06_gradient_compression::run()),
         "e7" => Ok(exps::e07_placement_search::run()),
         "e8" => Ok(exps::e08_morphnet::run()),
@@ -45,20 +72,21 @@ pub fn run_experiment(id: &str) -> Result<ExperimentResult, String> {
         "e19" => Ok(exps::e19_mistique::run()),
         "e20" => Ok(exps::e20_carbon::run()),
         "e21" => Ok(exps::e21_tradeoff_navigator::run()),
-        "e22" => Ok(exps::e22_fault_tolerance::run()),
+        "e22" => Ok(exps::e22_fault_tolerance::run_with(rec)),
+        "e23" => Ok(exps::e23_observability::run()),
         "a1" => Ok(exps::a01_error_feedback::run()),
         "a2" => Ok(exps::a02_rmi_leaves::run()),
         "a3" => Ok(exps::a03_p3_slices::run()),
         "a4" => Ok(exps::a04_snapshot_cycles::run()),
         other => Err(format!(
-            "unknown experiment {other:?}; expected e1..e22, a1..a4, or 'all'"
+            "unknown experiment {other:?}; expected e1..e23, a1..a4, or 'all'"
         )),
     }
 }
 
-/// All experiment ids in order: claims E1-E22, then ablations A1-A4.
+/// All experiment ids in order: claims E1-E23, then ablations A1-A4.
 pub fn all_ids() -> Vec<String> {
-    let mut ids: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
+    let mut ids: Vec<String> = (1..=23).map(|i| format!("e{i}")).collect();
     ids.extend((1..=4).map(|i| format!("a{i}")));
     ids
 }
@@ -88,6 +116,7 @@ pub fn describe(id: &str) -> &'static str {
         "e20" => "carbon: size x hardware x region + scheduling",
         "e21" => "tradeoff navigator: Pareto frontier",
         "e22" => "fault tolerance: checkpoint interval vs completion time under crashes",
+        "e23" => "observability: fault-recovery timeline and tracing overhead",
         "a1" => "ablation: error feedback in gradient compression",
         "a2" => "ablation: RMI leaf budget",
         "a3" => "ablation: P3 slice granularity",

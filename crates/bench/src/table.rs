@@ -111,6 +111,29 @@ impl ExperimentResult {
     }
 }
 
+/// Converts a [`dl_obs::Fields`] list (the shared event-field schema that
+/// every report's `ToFields` impl produces) into a JSON record object.
+///
+/// This is the bridge between span annotations and the machine-readable
+/// records under `target/experiments/`: experiments call
+/// `fields_json(&report.to_fields())` instead of hand-rolling the same
+/// key-by-key `json!` literal a second time.
+pub fn fields_json(fields: &dl_obs::Fields) -> serde_json::Value {
+    use dl_obs::FieldValue;
+    let mut map = serde_json::Map::new();
+    for (k, v) in fields {
+        let jv = match v {
+            FieldValue::U64(n) => serde_json::Value::from(*n),
+            FieldValue::I64(n) => serde_json::Value::from(*n),
+            FieldValue::F64(x) => serde_json::Value::from(*x),
+            FieldValue::Bool(b) => serde_json::Value::from(*b),
+            FieldValue::Str(s) => serde_json::Value::from(s.clone()),
+        };
+        map.insert(k.clone(), jv);
+    }
+    serde_json::Value::Object(map)
+}
+
 /// Formats a float with 3 significant decimals.
 pub fn f3(v: f64) -> String {
     format!("{v:.3}")

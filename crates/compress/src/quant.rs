@@ -255,15 +255,12 @@ impl HuffmanCode {
         let mut heap = std::collections::BinaryHeap::new();
         let mut children: Vec<Option<(usize, usize)>> = Vec::new();
         let mut symbol_of: Vec<Option<u8>> = Vec::new();
-        for s in 0..256 {
-            if freq[s] > 0 {
+        for (s, &weight) in freq.iter().enumerate() {
+            if weight > 0 {
                 let id = children.len();
                 children.push(None);
                 symbol_of.push(Some(s as u8));
-                heap.push(Node {
-                    weight: freq[s],
-                    id,
-                });
+                heap.push(Node { weight, id });
             }
         }
         if heap.len() == 1 {
@@ -359,11 +356,11 @@ impl HuffmanCode {
         let mut pos = 0;
         'outer: while out.len() < n {
             let mut acc = 0u32;
-            for len in 1..=32usize {
+            for group in by_len.iter().skip(1) {
                 assert!(pos < bits.len(), "bit stream truncated");
                 acc = (acc << 1) | u32::from(bits[pos]);
                 pos += 1;
-                for &(code, sym) in &by_len[len] {
+                for &(code, sym) in group {
                     if code == acc {
                         out.push(sym);
                         continue 'outer;

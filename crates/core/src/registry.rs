@@ -75,6 +75,9 @@ pub enum Category {
     Green,
     /// Fault tolerance: checkpointing, elastic membership, recovery.
     Robustness,
+    /// Observability: tracing, metrics, flight recording (techniques that
+    /// spend resources to make every other tradeoff measurable).
+    Observability,
 }
 
 /// A named, categorized measurement.

@@ -30,8 +30,8 @@ pub fn blobs(n: usize, k: usize, dim: usize, separation: f32, noise: f32, seed: 
     for i in 0..n {
         let c = i % k;
         let jitter = init::normal([dim], 0.0, noise, &mut rng);
-        for d in 0..dim {
-            xs.push(centers[c][d] + jitter.data()[d]);
+        for (&center, &j) in centers[c].iter().zip(jitter.data()) {
+            xs.push(center + j);
         }
         ys.push(c);
     }

@@ -9,6 +9,7 @@
 
 use crate::sim::Cluster;
 use dl_nn::{loss::one_hot, Dataset, Loss, Network, Optimizer};
+use dl_obs::{fields, NullRecorder, Recorder, ToFields};
 use dl_tensor::init;
 
 /// Local SGD configuration.
@@ -54,6 +55,18 @@ pub struct LocalSgdReport {
     pub sync_rounds: usize,
 }
 
+impl ToFields for LocalSgdReport {
+    fn to_fields(&self) -> dl_obs::Fields {
+        fields! {
+            "sync_period" => self.sync_period,
+            "accuracy" => self.accuracy,
+            "bytes_communicated" => self.bytes_communicated,
+            "simulated_seconds" => self.simulated_seconds,
+            "sync_rounds" => self.sync_rounds,
+        }
+    }
+}
+
 /// Runs Local SGD with one worker per cluster device.
 ///
 /// Data is sharded round-robin across workers; every worker runs real
@@ -69,6 +82,27 @@ pub fn local_sgd(
     eval: &Dataset,
     dims: &[usize],
     config: &LocalSgdConfig,
+) -> (Network, LocalSgdReport) {
+    local_sgd_traced(cluster, data, eval, dims, config, &NullRecorder::new())
+}
+
+/// [`local_sgd`] with tracing: the run, each averaging round, and the
+/// communicated bytes are emitted onto `rec`, with the recorder's
+/// [`dl_obs::VirtualClock`] mirroring the report's simulated seconds.
+///
+/// The recorder only *observes* — it never participates in an RNG draw or
+/// an arithmetic operation — so the trajectory is bit-identical to the
+/// untraced run.
+///
+/// # Panics
+/// As [`local_sgd`].
+pub fn local_sgd_traced(
+    cluster: &Cluster,
+    data: &Dataset,
+    eval: &Dataset,
+    dims: &[usize],
+    config: &LocalSgdConfig,
+    rec: &dyn Recorder,
 ) -> (Network, LocalSgdReport) {
     assert!(config.sync_period > 0, "sync_period must be positive");
     let workers = cluster.len();
@@ -94,6 +128,18 @@ pub fn local_sgd(
     let mut bytes = 0u64;
     let mut seconds = 0.0f64;
     let mut rounds = 0usize;
+    // Simulated-time origin: the shared clock may already be past zero
+    // when several runs trace onto one recorder.
+    let t0 = rec.clock().now();
+    let run_span = rec.span_start(
+        0,
+        "local_sgd",
+        fields! {
+            "workers" => workers,
+            "sync_period" => config.sync_period,
+            "steps" => config.steps,
+        },
+    );
     for step in 0..config.steps {
         for w in 0..workers {
             // sample a batch from this worker's shard
@@ -116,27 +162,32 @@ pub fn local_sgd(
             .iter()
             .map(|d| d.compute_time(step_flops))
             .fold(0.0, f64::max);
+        rec.clock().set(t0 + seconds);
         if (step + 1) % config.sync_period == 0 {
+            let round_span =
+                rec.span_start(0, "sync_round", fields! { "round" => rounds, "step" => step });
             average_params(&mut nets);
             seconds += cluster.allreduce_time(grad_bytes);
             bytes += grad_bytes * workers as u64;
             rounds += 1;
+            rec.clock().set(t0 + seconds);
+            rec.counter(0, "bytes_communicated", grad_bytes * workers as u64);
+            rec.span_end(round_span, fields! { "bytes" => grad_bytes * workers as u64 });
         }
     }
     average_params(&mut nets);
     let mut model = nets.swap_remove(0);
     model.clear_caches();
     let accuracy = dl_nn::metrics::accuracy(&model.predict(&eval.x), &eval.y);
-    (
-        model,
-        LocalSgdReport {
-            sync_period: config.sync_period,
-            accuracy,
-            bytes_communicated: bytes,
-            simulated_seconds: seconds,
-            sync_rounds: rounds,
-        },
-    )
+    let report = LocalSgdReport {
+        sync_period: config.sync_period,
+        accuracy,
+        bytes_communicated: bytes,
+        simulated_seconds: seconds,
+        sync_rounds: rounds,
+    };
+    rec.span_end(run_span, report.to_fields());
+    (model, report)
 }
 
 /// Local SGD with **failure injection**: `failures` lists `(step, worker)`

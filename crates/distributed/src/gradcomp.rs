@@ -145,6 +145,7 @@ impl GradCompressionReport {
 /// Workers compute gradients on their shards, compress with error
 /// feedback, and the (decoded) compressed gradients are averaged and
 /// applied by every worker identically.
+#[allow(clippy::too_many_arguments)]
 pub fn compressed_sgd(
     cluster: &Cluster,
     data: &Dataset,

@@ -39,9 +39,14 @@ pub mod resilient;
 pub mod sim;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, StorageProfile};
-pub use datapar::{local_sgd, local_sgd_with_failures, LocalSgdConfig, LocalSgdReport};
+pub use datapar::{
+    local_sgd, local_sgd_traced, local_sgd_with_failures, LocalSgdConfig, LocalSgdReport,
+};
 pub use fault::{FaultEvent, FaultPlan, FaultProfile};
-pub use resilient::{resilient_local_sgd, BackoffPolicy, ResilienceReport, ResilientConfig};
+pub use resilient::{
+    resilient_local_sgd, resilient_local_sgd_traced, BackoffPolicy, ResilienceReport,
+    ResilientConfig,
+};
 pub use flexflow::{data_parallel_cost, optimize_placement, Placement, PlacementSearchConfig, StrategyCost};
 pub use gradcomp::{compressed_sgd, compressed_sgd_opts, GradCompressionReport, GradCompressor};
 pub use morph::{morph_resize, uniform_baseline, MorphConfig, MorphReport};

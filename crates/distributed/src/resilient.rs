@@ -28,6 +28,7 @@ use crate::datapar::{average_surviving, LocalSgdConfig};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::sim::Cluster;
 use dl_nn::{loss::one_hot, Dataset, Loss, Network, Optimizer};
+use dl_obs::{fields, NullRecorder, Recorder, ToFields};
 use dl_tensor::init;
 use rand::rngs::StdRng;
 
@@ -134,6 +135,32 @@ pub struct ResilienceReport {
     pub final_workers: usize,
 }
 
+impl ToFields for ResilienceReport {
+    fn to_fields(&self) -> dl_obs::Fields {
+        fields! {
+            "sync_period" => self.sync_period,
+            "checkpoint_interval" => self.checkpoint_interval,
+            "accuracy" => self.accuracy,
+            "simulated_seconds" => self.simulated_seconds,
+            "bytes_communicated" => self.bytes_communicated,
+            "sync_rounds" => self.sync_rounds,
+            "total_samples" => self.total_samples,
+            "useful_samples" => self.useful_samples,
+            "lost_samples" => self.lost_samples,
+            "goodput" => self.goodput,
+            "crashes" => self.crashes,
+            "rejoins" => self.rejoins,
+            "rollbacks" => self.rollbacks,
+            "allreduce_retries" => self.allreduce_retries,
+            "recovery_seconds" => self.recovery_seconds,
+            "checkpoint_seconds" => self.checkpoint_seconds,
+            "checkpoints_written" => self.checkpoints_written,
+            "checkpoint_bytes" => self.checkpoint_bytes,
+            "final_workers" => self.final_workers,
+        }
+    }
+}
+
 /// Runs elastic Local SGD under the given fault plan.
 ///
 /// Setup (sharding, seeding, initialization) is identical to
@@ -151,6 +178,32 @@ pub fn resilient_local_sgd(
     dims: &[usize],
     config: &ResilientConfig,
     plan: &FaultPlan,
+) -> (Network, ResilienceReport) {
+    resilient_local_sgd_traced(cluster, data, eval, dims, config, plan, &NullRecorder::new())
+}
+
+/// [`resilient_local_sgd`] with tracing: the run and every averaging
+/// round and checkpoint write become spans on `rec`; crashes, rollbacks,
+/// rejoins, allreduce retries and fault episodes become instants. Track 0
+/// is the coordinator timeline and track `w + 1` is worker `w`, so a
+/// Chrome trace shows each worker's faults on its own row.
+///
+/// The recorder only *observes* the run (its [`dl_obs::VirtualClock`]
+/// mirrors the driver's simulated-seconds accumulator); no RNG draw or
+/// arithmetic operation depends on it, so the trajectory stays
+/// bit-identical to the untraced run.
+///
+/// # Panics
+/// As [`resilient_local_sgd`].
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_local_sgd_traced(
+    cluster: &Cluster,
+    data: &Dataset,
+    eval: &Dataset,
+    dims: &[usize],
+    config: &ResilientConfig,
+    plan: &FaultPlan,
+    rec: &dyn Recorder,
 ) -> (Network, ResilienceReport) {
     let base = &config.base;
     assert!(base.sync_period > 0, "sync_period must be positive");
@@ -220,8 +273,63 @@ pub fn resilient_local_sgd(
 
     let regroup_bytes = 64u64; // membership-agreement control message
 
+    // Fault *episodes* (degradation, straggling) get an annotating instant
+    // when they first take effect; like membership events the index only
+    // advances, so a rollback cannot re-announce an episode.
+    let episodes: Vec<FaultEvent> = plan
+        .events()
+        .iter()
+        .copied()
+        .filter(|e| !e.is_membership())
+        .collect();
+    let mut next_episode = 0usize;
+
+    // Simulated-time origin on the shared clock (several runs may trace
+    // onto one recorder back to back).
+    let t0 = rec.clock().now();
+    let run_span = rec.span_start(
+        0,
+        "resilient_local_sgd",
+        fields! {
+            "workers" => workers,
+            "sync_period" => base.sync_period,
+            "steps" => base.steps,
+            "checkpoint_interval" => config.checkpoint_interval,
+        },
+    );
+
     let mut step = 0usize;
     'training: while step < base.steps {
+        while next_episode < episodes.len() && episodes[next_episode].at_step() <= step {
+            match episodes[next_episode] {
+                FaultEvent::LinkDegrade {
+                    factor,
+                    from_step,
+                    to_step,
+                } => rec.instant(
+                    0,
+                    "link_degrade",
+                    fields! { "factor" => factor, "from_step" => from_step, "to_step" => to_step },
+                ),
+                FaultEvent::Straggler {
+                    worker,
+                    slowdown,
+                    from_step,
+                    to_step,
+                } => rec.instant(
+                    worker as u32 + 1,
+                    "straggler",
+                    fields! {
+                        "worker" => worker,
+                        "slowdown" => slowdown,
+                        "from_step" => from_step,
+                        "to_step" => to_step,
+                    },
+                ),
+                _ => {}
+            }
+            next_episode += 1;
+        }
         // Fire due membership events, one at a time (a crash rewinds
         // `step`, so remaining same-step events re-fire checks later).
         while next_event < membership.len() && membership[next_event].at_step() <= step {
@@ -237,6 +345,12 @@ pub fn resilient_local_sgd(
                     let detect = config.detection_timeout + regroup;
                     seconds += detect;
                     recovery_seconds += detect;
+                    rec.clock().set(t0 + seconds);
+                    rec.instant(
+                        worker as u32 + 1,
+                        "crash",
+                        fields! { "worker" => worker, "step" => step },
+                    );
                     if alive.iter().any(|&a| a) {
                         let read = store.charge_read();
                         seconds += read;
@@ -253,12 +367,23 @@ pub fn resilient_local_sgd(
                             base,
                         );
                         lost_samples += samples_since_ckpt;
+                        rec.clock().set(t0 + seconds);
+                        rec.instant(
+                            0,
+                            "rollback",
+                            fields! {
+                                "from_step" => step,
+                                "to_step" => ckpt.step,
+                                "lost_samples" => samples_since_ckpt,
+                            },
+                        );
                         samples_since_ckpt = 0;
                         rollbacks += 1;
                         step = ckpt.step;
                         continue 'training;
                     }
                     // Everyone is gone: salvage the last checkpoint below.
+                    rec.instant(0, "abort", fields! { "step" => step });
                     aborted = true;
                     break 'training;
                 }
@@ -268,7 +393,8 @@ pub fn resilient_local_sgd(
                     seconds += regroup;
                     recovery_seconds += regroup;
                     let ckpt_step = store.latest().expect("store is seeded").step;
-                    if step - ckpt_step <= config.max_rejoin_staleness {
+                    let from_checkpoint = step - ckpt_step <= config.max_rejoin_staleness;
+                    if from_checkpoint {
                         // fresh enough: restore from storage
                         let read = store.charge_read();
                         seconds += read;
@@ -298,6 +424,16 @@ pub fn resilient_local_sgd(
                     );
                     alive[worker] = true;
                     rejoins += 1;
+                    rec.clock().set(t0 + seconds);
+                    rec.instant(
+                        worker as u32 + 1,
+                        "rejoin",
+                        fields! {
+                            "worker" => worker,
+                            "step" => step,
+                            "source" => if from_checkpoint { "checkpoint" } else { "peer" },
+                        },
+                    );
                 }
                 _ => {} // crash of a dead worker / rejoin of a live one: no-op
             }
@@ -330,8 +466,14 @@ pub fn resilient_local_sgd(
             .iter()
             .map(|&w| cluster.devices[w].compute_time(step_flops) * plan.slowdown_at(step, w))
             .fold(0.0, f64::max);
+        rec.clock().set(t0 + seconds);
 
-        if (step + 1) % base.sync_period == 0 {
+        if (step + 1).is_multiple_of(base.sync_period) {
+            let round_span = rec.span_start(
+                0,
+                "sync_round",
+                fields! { "round" => rounds, "step" => step, "workers" => living.len() },
+            );
             average_surviving(&mut nets, &alive);
             let factor = plan.link_factor_at(step);
             let base_t = cluster.allreduce_time(grad_bytes);
@@ -345,16 +487,28 @@ pub fn resilient_local_sgd(
                 seconds += wasted;
                 recovery_seconds += wasted;
                 retries += 1;
+                rec.clock().set(t0 + seconds);
+                rec.instant(
+                    0,
+                    "allreduce_retry",
+                    fields! { "attempt" => attempt as u32, "wasted_seconds" => wasted },
+                );
                 attempt += 1;
             }
             let effective = (factor * f64::powi(2.0, attempt)).min(1.0);
             seconds += base_t / effective;
             bytes += grad_bytes * living.len() as u64;
             rounds += 1;
+            rec.clock().set(t0 + seconds);
+            rec.counter(0, "bytes_communicated", grad_bytes * living.len() as u64);
+            rec.span_end(round_span, fields! { "bytes" => grad_bytes * living.len() as u64 });
 
             if config.checkpoint_interval > 0
                 && (step + 1) - last_ckpt_step >= config.checkpoint_interval
             {
+                let ckpt_span =
+                    rec.span_start(0, "checkpoint_write", fields! { "step" => step + 1 });
+                let bytes_before = store.bytes_written;
                 let lead = living[0];
                 let write = store.save(Checkpoint {
                     step: step + 1,
@@ -365,6 +519,11 @@ pub fn resilient_local_sgd(
                 seconds += write;
                 last_ckpt_step = step + 1;
                 samples_since_ckpt = 0;
+                rec.clock().set(t0 + seconds);
+                rec.span_end(
+                    ckpt_span,
+                    fields! { "bytes" => store.bytes_written - bytes_before },
+                );
             }
         }
         step += 1;
@@ -392,30 +551,30 @@ pub fn resilient_local_sgd(
     } else {
         0.0
     };
-    (
-        model,
-        ResilienceReport {
-            sync_period: base.sync_period,
-            checkpoint_interval: config.checkpoint_interval,
-            accuracy,
-            simulated_seconds: seconds,
-            bytes_communicated: bytes,
-            sync_rounds: rounds,
-            total_samples,
-            useful_samples,
-            lost_samples,
-            goodput,
-            crashes,
-            rejoins,
-            rollbacks,
-            allreduce_retries: retries,
-            recovery_seconds,
-            checkpoint_seconds: store.write_seconds,
-            checkpoints_written: store.writes,
-            checkpoint_bytes: store.bytes_written,
-            final_workers,
-        },
-    )
+    let report = ResilienceReport {
+        sync_period: base.sync_period,
+        checkpoint_interval: config.checkpoint_interval,
+        accuracy,
+        simulated_seconds: seconds,
+        bytes_communicated: bytes,
+        sync_rounds: rounds,
+        total_samples,
+        useful_samples,
+        lost_samples,
+        goodput,
+        crashes,
+        rejoins,
+        rollbacks,
+        allreduce_retries: retries,
+        recovery_seconds,
+        checkpoint_seconds: store.write_seconds,
+        checkpoints_written: store.writes,
+        checkpoint_bytes: store.bytes_written,
+        final_workers,
+    };
+    rec.clock().set(t0 + seconds);
+    rec.span_end(run_span, report.to_fields());
+    (model, report)
 }
 
 /// Restores every worker's training state from `ckpt`: parameters and

@@ -172,7 +172,7 @@ mod tests {
         c.devices[1] = Device::edge();
         let t = c.sync_step_time(1_000_000_000_000, 0);
         // edge device takes 2 s for 1 TFLOP; accelerator 0.1 s
-        assert!(t >= 2.0 && t < 2.1);
+        assert!((2.0..2.1).contains(&t));
     }
 
     proptest::proptest! {

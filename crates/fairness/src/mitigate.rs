@@ -199,7 +199,7 @@ pub fn threshold_adjust(
         pos_scores.iter().filter(|&&s| s >= 0.5).count() as f64 / labels.len() as f64;
     // per group, pick the threshold whose positive rate is closest to the target
     let mut thresholds = [0.5f32; 2];
-    for g in 0..2 {
+    for (g, threshold) in thresholds.iter_mut().enumerate() {
         let mut group_scores: Vec<f32> = pos_scores
             .iter()
             .zip(groups)
@@ -214,7 +214,7 @@ pub fn threshold_adjust(
         let idx = ((group_scores.len() as f64) * (1.0 - target_rate))
             .floor()
             .clamp(0.0, group_scores.len() as f64 - 1.0) as usize;
-        thresholds[g] = group_scores[idx];
+        *threshold = group_scores[idx];
     }
     let predictions: Vec<usize> = pos_scores
         .iter()
@@ -246,7 +246,7 @@ pub fn threshold_equal_opportunity(
     assert!((0.0..=1.0).contains(&target_tpr), "TPR must lie in [0,1]");
     let pos_scores: Vec<f32> = (0..labels.len()).map(|i| scores.get(&[i, 1])).collect();
     let mut thresholds = [0.5f32; 2];
-    for g in 0..2 {
+    for (g, threshold) in thresholds.iter_mut().enumerate() {
         let mut positives: Vec<f32> = pos_scores
             .iter()
             .zip(labels.iter().zip(groups))
@@ -262,7 +262,7 @@ pub fn threshold_equal_opportunity(
         let idx = ((positives.len() as f64) * (1.0 - target_tpr))
             .floor()
             .clamp(0.0, positives.len() as f64 - 1.0) as usize;
-        thresholds[g] = positives[idx];
+        *threshold = positives[idx];
     }
     let predictions: Vec<usize> = pos_scores
         .iter()

@@ -146,8 +146,8 @@ pub fn lime_explain(
     let mut ss_tot = 0.0;
     for i in 0..samples {
         let mut pred = beta[d];
-        for f in 0..d {
-            pred += beta[f] * f64::from(xs.get(&[i, f]));
+        for (f, b) in beta.iter().enumerate().take(d) {
+            pred += b * f64::from(xs.get(&[i, f]));
         }
         let t = f64::from(targets[i]);
         ss_res += weights[i] * (t - pred) * (t - pred);

@@ -92,9 +92,9 @@ impl ActivationQuery {
                 let mut scored = Vec::new();
                 for u in 0..units {
                     let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0.0f64, 0, 0.0f64, 0);
-                    for i in 0..n {
+                    for (i, label) in labels.iter().enumerate().take(n) {
                         let v = f64::from(acts.get(&[i, u]));
-                        if labels[i] == *class {
+                        if label == class {
                             in_sum += v;
                             in_n += 1;
                         } else {

@@ -518,12 +518,12 @@ impl Conv2d {
         let mut gw = Tensor::zeros([self.out_channels, fan_in]);
         let mut gb = Tensor::zeros([self.out_channels]);
         let mut gx = Vec::with_capacity(batch * in_dim);
-        for s in 0..batch {
+        for (s, cols) in cols_cache.iter().enumerate().take(batch) {
             let g_s = grad
                 .row(s)
                 .reshape([self.out_channels, positions])
                 .expect("grad row matches output geometry");
-            gw = &gw + &g_s.matmul(&cols_cache[s].transpose());
+            gw = &gw + &g_s.matmul(&cols.transpose());
             gb = &gb + &g_s.sum_axis(1);
             let dcols = self.weight.transpose().matmul(&g_s);
             let dx = dcols.col2im(

@@ -5,6 +5,9 @@
 //! crates convert the resource counts into simulated time and energy; the
 //! counts themselves are hardware-independent and deterministic.
 
+use std::sync::Arc;
+
+use dl_obs::{fields, FieldValue, NullRecorder, Recorder, ToFields};
 use dl_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -13,6 +16,12 @@ use crate::loss::{one_hot, Loss};
 use crate::metrics::accuracy;
 use crate::network::Network;
 use crate::optim::{LrSchedule, Optimizer};
+
+/// Nominal device rate used to convert hardware-independent FLOP counts
+/// into virtual-clock seconds for traces (matches the simulator's
+/// mid-range accelerator: 10 TFLOP/s). Purely an observability concern —
+/// no training arithmetic depends on it.
+const NOMINAL_FLOPS_PER_SEC: f64 = 10e12;
 
 /// A labeled classification dataset: feature rows plus integer labels.
 #[derive(Debug, Clone)]
@@ -117,6 +126,22 @@ pub struct EpochRecord {
     pub cycle_end: bool,
 }
 
+impl ToFields for EpochRecord {
+    /// The record under the shared event schema — the single
+    /// serialization path used for epoch-span annotations and the bench
+    /// harness's JSON records alike.
+    fn to_fields(&self) -> Vec<(String, FieldValue)> {
+        fields! {
+            "epoch" => self.epoch,
+            "train_loss" => self.train_loss,
+            "train_accuracy" => self.train_accuracy,
+            "lr_scale" => self.lr_scale,
+            "cumulative_flops" => self.cumulative_flops,
+            "cycle_end" => self.cycle_end,
+        }
+    }
+}
+
 /// Batched gradient-descent training with per-epoch instrumentation.
 pub struct Trainer {
     /// Hyper-parameters.
@@ -131,6 +156,8 @@ pub struct Trainer {
     /// Optional callback invoked after each epoch (snapshotting hooks).
     #[allow(clippy::type_complexity)]
     epoch_hook: Option<Box<dyn FnMut(&mut Network, &EpochRecord)>>,
+    /// Structured-event recorder; a no-op [`NullRecorder`] by default.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Trainer {
@@ -144,6 +171,7 @@ impl Trainer {
             flops: 0,
             rng,
             epoch_hook: None,
+            recorder: Arc::new(NullRecorder::new()),
         }
     }
 
@@ -151,6 +179,14 @@ impl Trainer {
     /// to copy the model at cycle ends).
     pub fn on_epoch(&mut self, hook: impl FnMut(&mut Network, &EpochRecord) + 'static) {
         self.epoch_hook = Some(Box::new(hook));
+    }
+
+    /// Attaches a structured-event recorder: subsequent `fit` calls emit
+    /// per-epoch and per-batch spans (loss/accuracy/FLOPs fields) and
+    /// advance the recorder's virtual clock by nominal compute time.
+    /// Tracing never alters the training trajectory.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Trains `net` on `data`, returning the per-epoch records added by
@@ -177,13 +213,20 @@ impl Trainer {
         let step_flops = net.cost_profile(self.config.batch_size).train_step_flops();
         let start_epoch = self.history.len();
         let mut added = Vec::with_capacity(self.config.epochs);
+        let batch_seconds = step_flops as f64 / NOMINAL_FLOPS_PER_SEC;
         for e in 0..self.config.epochs {
             let epoch = start_epoch + e;
             let scale = self.config.schedule.scale(epoch);
+            let epoch_span = self
+                .recorder
+                .span_start(0, "epoch", fields! { "epoch" => epoch });
             let order = init::permutation(data.len(), &mut self.rng);
             let mut loss_sum = 0.0;
             let mut batches = 0;
             for chunk in order.chunks(self.config.batch_size) {
+                let batch_span = self
+                    .recorder
+                    .span_start(0, "batch", fields! { "batch" => batches as usize });
                 let xb = data.x.select_rows(chunk);
                 let targets = match soft_targets {
                     Some(t) => t.select_rows(chunk),
@@ -202,6 +245,11 @@ impl Trainer {
                 loss_sum += loss;
                 batches += 1;
                 self.flops += step_flops;
+                self.recorder.clock().advance(batch_seconds);
+                self.recorder.observe("train.batch_loss", f64::from(loss));
+                self.recorder.counter(0, "train.samples", chunk.len() as u64);
+                self.recorder
+                    .span_end(batch_span, fields! { "loss" => loss, "flops" => step_flops });
             }
             let preds = net.predict(&data.x);
             let record = EpochRecord {
@@ -212,6 +260,7 @@ impl Trainer {
                 cumulative_flops: self.flops,
                 cycle_end: self.config.schedule.is_cycle_end(epoch),
             };
+            self.recorder.span_end(epoch_span, record.to_fields());
             if let Some(hook) = &mut self.epoch_hook {
                 hook(net, &record);
             }
@@ -442,6 +491,74 @@ mod tests {
         assert!(
             clipped < unclipped / 10.0,
             "clipping must bound the step: {clipped} vs {unclipped}"
+        );
+    }
+
+    #[test]
+    fn tracing_emits_spans_without_perturbing_training() {
+        use dl_obs::{EventKind, TimelineRecorder};
+        let data = blobs(40, 20);
+        let train = |traced: bool| {
+            let mut r = rng(21);
+            let mut net = Network::mlp(&[2, 8, 2], &mut r);
+            let mut trainer = Trainer::new(
+                TrainConfig {
+                    epochs: 3,
+                    batch_size: 8,
+                    ..TrainConfig::default()
+                },
+                Optimizer::sgd(0.1),
+            );
+            let rec = Arc::new(TimelineRecorder::new());
+            if traced {
+                trainer.set_recorder(rec.clone());
+            }
+            trainer.fit(&mut net, &data);
+            (net.flat_params(), rec)
+        };
+        let (plain, _) = train(false);
+        let (traced, rec) = train(true);
+        assert_eq!(plain, traced, "tracing must not alter the trajectory");
+        let events = rec.events();
+        let epoch_starts = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart && e.name == "epoch")
+            .count();
+        assert_eq!(epoch_starts, 3);
+        // 40 samples / batch 8 = 5 batches per epoch
+        assert_eq!(rec.counters()["train.samples"], 120);
+        assert_eq!(rec.histogram("train.batch_loss").unwrap().count, 15);
+        // the epoch end edge carries the EpochRecord fields
+        let end = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd && e.name == "epoch")
+            .unwrap();
+        assert!(end.fields.iter().any(|(k, _)| k == "train_accuracy"));
+        assert!(rec.clock().now() > 0.0, "batches advance the virtual clock");
+    }
+
+    #[test]
+    fn epoch_record_to_fields_covers_every_metric() {
+        let r = EpochRecord {
+            epoch: 2,
+            train_loss: 0.5,
+            train_accuracy: 0.75,
+            lr_scale: 1.0,
+            cumulative_flops: 1000,
+            cycle_end: true,
+        };
+        let fields = r.to_fields();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "epoch",
+                "train_loss",
+                "train_accuracy",
+                "lr_scale",
+                "cumulative_flops",
+                "cycle_end"
+            ]
         );
     }
 

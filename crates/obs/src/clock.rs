@@ -1,0 +1,126 @@
+//! The deterministic virtual clock every recorder timestamps against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A simulated-time clock, in fractional seconds.
+///
+/// The workspace's cost models (`dl-distributed::sim`, the checkpoint
+/// storage profiles, the energy accounting) all express time as `f64`
+/// simulated seconds; instrumented drivers mirror their accumulated
+/// seconds into this clock (`set`) or push increments onto it
+/// (`advance`). Nothing here reads the wall clock, so two runs of the
+/// same seeded experiment produce byte-identical traces.
+///
+/// Time is held as the bit pattern of an `f64` inside an [`AtomicU64`]
+/// and updated with compare-and-swap loops: sub-microsecond costs (a
+/// single toy-network batch is fractions of a nanosecond on the nominal
+/// device) accumulate exactly as the simulation's own `f64` accounting
+/// does, instead of truncating to zero. Event timestamps round to whole
+/// microseconds only at export time, matching the Chrome `trace_event`
+/// `ts` unit.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    seconds_bits: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current time in seconds.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.seconds_bits.load(Ordering::Relaxed))
+    }
+
+    /// Current time rounded to whole microseconds (the `trace_event` unit).
+    pub fn now_micros(&self) -> u64 {
+        (self.now() * 1e6).round() as u64
+    }
+
+    /// Moves the clock forward by `seconds` (negative or non-finite
+    /// amounts are ignored: simulated time never runs backwards).
+    pub fn advance(&self, seconds: f64) {
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return;
+        }
+        let mut cur = self.seconds_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + seconds).to_bits();
+            match self.seconds_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Sets the clock to an absolute time in seconds, saturating at the
+    /// current value so time never runs backwards (drivers that restart
+    /// their local accumulator keep a monotonic shared timeline).
+    pub fn set(&self, seconds: f64) {
+        if !seconds.is_finite() {
+            return;
+        }
+        let target = seconds.max(0.0);
+        let mut cur = self.seconds_bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= target {
+                return;
+            }
+            match self.seconds_bits.compare_exchange_weak(
+                cur,
+                target.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance(1.5);
+        assert_eq!(c.now_micros(), 1_500_000);
+        assert!((c.now() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_runs_backwards() {
+        let c = VirtualClock::new();
+        c.set(2.0);
+        c.set(1.0);
+        assert_eq!(c.now_micros(), 2_000_000);
+        c.advance(-5.0);
+        c.advance(f64::NAN);
+        assert_eq!(c.now_micros(), 2_000_000);
+    }
+
+    #[test]
+    fn sub_microsecond_advances_accumulate() {
+        let c = VirtualClock::new();
+        c.advance(0.4e-6);
+        assert_eq!(c.now_micros(), 0, "0.4 us rounds down at export");
+        assert!(c.now() > 0.0, "but the clock itself kept the increment");
+        c.advance(0.4e-6);
+        assert_eq!(c.now_micros(), 1, "0.8 us rounds up");
+        for _ in 0..1000 {
+            c.advance(1e-9);
+        }
+        assert!((c.now() - 1.8e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Trace exporters: Chrome `trace_event` JSON and JSON-lines.
+//!
+//! Both exporters write through any [`std::io::Write`] sink (a file for
+//! the CLI, a `Vec<u8>` in tests) and produce byte-stable output: object
+//! keys are emitted in sorted order and floats use Rust's shortest
+//! round-trip formatting, so a seeded run exports the identical file
+//! every time (golden-tested).
+
+use std::io::{self, Write};
+
+use crate::field::{write_json_string, write_json_value, FieldValue, Fields};
+use crate::recorder::{Event, EventKind};
+
+/// Appends `fields` as a JSON object with keys in sorted order.
+fn write_fields_object(out: &mut String, fields: &Fields) {
+    let mut sorted: Vec<&(String, FieldValue)> = fields.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    out.push('{');
+    for (i, (key, value)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, key);
+        out.push(':');
+        write_json_value(out, value);
+    }
+    out.push('}');
+}
+
+/// Renders one event as a Chrome `trace_event` object (keys sorted).
+fn chrome_record(event: &Event) -> String {
+    let ph = match event.kind {
+        EventKind::SpanStart => "B",
+        EventKind::SpanEnd => "E",
+        EventKind::Instant => "i",
+        EventKind::Counter => "C",
+    };
+    let mut out = String::new();
+    out.push_str("{\"args\":");
+    write_fields_object(&mut out, &event.fields);
+    out.push_str(",\"cat\":");
+    write_json_string(&mut out, event.kind.label());
+    out.push_str(",\"name\":");
+    write_json_string(&mut out, &event.name);
+    out.push_str(",\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"pid\":0");
+    if event.kind == EventKind::Instant {
+        // instant scope: thread-local, the narrowest marker
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(&format!(",\"tid\":{},\"ts\":{}", event.track, event.ts_micros));
+    out.push('}');
+    out
+}
+
+/// Writes `events` as a Chrome `trace_event` JSON array, loadable by
+/// `chrome://tracing` and Perfetto. One record per line, keys sorted.
+///
+/// # Errors
+/// Propagates sink I/O errors.
+pub fn write_chrome_trace(events: &[Event], sink: &mut dyn Write) -> io::Result<()> {
+    sink.write_all(b"[\n")?;
+    for (i, event) in events.iter().enumerate() {
+        sink.write_all(chrome_record(event).as_bytes())?;
+        if i + 1 < events.len() {
+            sink.write_all(b",")?;
+        }
+        sink.write_all(b"\n")?;
+    }
+    sink.write_all(b"]\n")
+}
+
+/// The Chrome trace as an in-memory string (convenience over
+/// [`write_chrome_trace`]).
+pub fn chrome_trace_to_string(events: &[Event]) -> String {
+    let mut buf = Vec::new();
+    write_chrome_trace(events, &mut buf).expect("in-memory sink cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Writes `events` as JSON-lines: one self-contained object per line with
+/// keys `fields`, `kind`, `name`, `track`, `ts_us` (sorted).
+///
+/// # Errors
+/// Propagates sink I/O errors.
+pub fn write_json_lines(events: &[Event], sink: &mut dyn Write) -> io::Result<()> {
+    for event in events {
+        let mut out = String::new();
+        out.push_str("{\"fields\":");
+        write_fields_object(&mut out, &event.fields);
+        out.push_str(",\"kind\":");
+        write_json_string(&mut out, event.kind.label());
+        out.push_str(",\"name\":");
+        write_json_string(&mut out, &event.name);
+        out.push_str(&format!(
+            ",\"track\":{},\"ts_us\":{}}}\n",
+            event.track, event.ts_micros
+        ));
+        sink.write_all(out.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// The JSON-lines dump as an in-memory string.
+pub fn json_lines_to_string(events: &[Event]) -> String {
+    let mut buf = Vec::new();
+    write_json_lines(events, &mut buf).expect("in-memory sink cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields;
+    use crate::recorder::{Recorder, TimelineRecorder};
+
+    fn sample_events() -> Vec<Event> {
+        let rec = TimelineRecorder::new();
+        let run = rec.span_start(0, "run", fields! { "workers" => 2usize });
+        rec.clock().advance(0.5);
+        rec.instant(1, "crash", fields! { "worker" => 1u32, "step" => 10usize });
+        rec.clock().advance(0.25);
+        rec.counter(0, "rollbacks", 1);
+        rec.span_end(run, fields! { "accuracy" => 0.875 });
+        rec.events()
+    }
+
+    #[test]
+    fn chrome_trace_is_a_json_array_with_sorted_keys() {
+        let s = chrome_trace_to_string(&sample_events());
+        assert!(s.starts_with("[\n"));
+        assert!(s.ends_with("]\n"));
+        assert!(s.contains(r#"{"args":{"workers":2},"cat":"span_start","name":"run","ph":"B","pid":0,"tid":0,"ts":0}"#));
+        assert!(s.contains(r#"{"args":{"step":10,"worker":1},"cat":"instant","name":"crash","ph":"i","pid":0,"s":"t","tid":1,"ts":500000}"#));
+        assert!(s.contains(r#""ph":"C""#));
+        assert!(s.contains(r#""ph":"E""#));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = sample_events();
+        assert_eq!(
+            chrome_trace_to_string(&events),
+            chrome_trace_to_string(&sample_events())
+        );
+        assert_eq!(
+            json_lines_to_string(&events),
+            json_lines_to_string(&sample_events())
+        );
+    }
+
+    #[test]
+    fn json_lines_one_object_per_event() {
+        let events = sample_events();
+        let s = json_lines_to_string(&events);
+        assert_eq!(s.lines().count(), events.len());
+        assert!(s
+            .lines()
+            .all(|l| l.starts_with("{\"fields\":") && l.ends_with('}')));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        assert_eq!(chrome_trace_to_string(&[]), "[\n]\n");
+        assert_eq!(json_lines_to_string(&[]), "");
+    }
+}

@@ -1,0 +1,437 @@
+//! The [`Recorder`] trait, its event model, and the two full recorders:
+//! the unbounded [`TimelineRecorder`] and the no-op [`NullRecorder`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::clock::VirtualClock;
+use crate::field::Fields;
+
+/// What an [`Event`] marks on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Opening edge of a span (Chrome `ph: "B"`).
+    SpanStart,
+    /// Closing edge of a span (Chrome `ph: "E"`).
+    SpanEnd,
+    /// A point-in-time annotation (Chrome `ph: "i"`), e.g. a fault
+    /// injection.
+    Instant,
+    /// A counter sample (Chrome `ph: "C"`): the counter's running total
+    /// at this timestamp.
+    Counter,
+}
+
+impl EventKind {
+    /// Stable lowercase label used by the JSON-lines exporter and as the
+    /// Chrome `cat` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "instant",
+            EventKind::Counter => "counter",
+        }
+    }
+}
+
+/// One timestamped, structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual-clock timestamp in microseconds.
+    pub ts_micros: u64,
+    /// Span edge / instant / counter sample.
+    pub kind: EventKind,
+    /// Event name (the span or counter name).
+    pub name: String,
+    /// Timeline lane, rendered as the Chrome `tid`. Drivers use one track
+    /// per simulated worker (track 0 for driver-level events).
+    pub track: u32,
+    /// Typed key-value annotations.
+    pub fields: Fields,
+}
+
+/// Handle returned by [`Recorder::span_start`] and consumed by
+/// [`Recorder::span_end`], pinning the end event to the same name and
+/// track as the start.
+#[derive(Debug)]
+#[must_use = "an unclosed span never gets its end edge; pass this to span_end"]
+pub struct SpanId {
+    name: String,
+    track: u32,
+}
+
+/// A span-style structured event recorder over a [`VirtualClock`].
+///
+/// Implementations must be cheap to call and must never consult the wall
+/// clock: every timestamp comes from [`Recorder::clock`], which the
+/// instrumented driver advances in lockstep with its simulated-time
+/// accounting. All methods take `&self` so one recorder can be threaded
+/// through nested drivers (interior mutability is the implementation's
+/// concern; a `Mutex` is fine at this event volume).
+pub trait Recorder: Send + Sync {
+    /// The clock this recorder timestamps events against.
+    fn clock(&self) -> &VirtualClock;
+
+    /// Appends one event to the timeline.
+    fn record(&self, event: Event);
+
+    /// Adds `delta` to the named monotonic counter and returns the new
+    /// total (0 for recorders that do not aggregate).
+    fn add_counter(&self, name: &str, delta: u64) -> u64;
+
+    /// Records `value` into the named log-scale histogram.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Opens a span named `name` on `track` at the current virtual time.
+    fn span_start(&self, track: u32, name: &str, fields: Fields) -> SpanId {
+        self.record(Event {
+            ts_micros: self.clock().now_micros(),
+            kind: EventKind::SpanStart,
+            name: name.to_string(),
+            track,
+            fields,
+        });
+        SpanId {
+            name: name.to_string(),
+            track,
+        }
+    }
+
+    /// Closes `span` at the current virtual time, attaching `fields` to
+    /// the end edge (the natural place for measured outcomes).
+    fn span_end(&self, span: SpanId, fields: Fields) {
+        self.record(Event {
+            ts_micros: self.clock().now_micros(),
+            kind: EventKind::SpanEnd,
+            name: span.name,
+            track: span.track,
+            fields,
+        });
+    }
+
+    /// Marks a point event (fault injections, rollbacks, rejoins).
+    fn instant(&self, track: u32, name: &str, fields: Fields) {
+        self.record(Event {
+            ts_micros: self.clock().now_micros(),
+            kind: EventKind::Instant,
+            name: name.to_string(),
+            track,
+            fields,
+        });
+    }
+
+    /// Bumps the named counter by `delta` and drops a counter sample on
+    /// the timeline so viewers can plot its trajectory.
+    fn counter(&self, track: u32, name: &str, delta: u64) {
+        let total = self.add_counter(name, delta);
+        self.record(Event {
+            ts_micros: self.clock().now_micros(),
+            kind: EventKind::Counter,
+            name: name.to_string(),
+            track,
+            fields: vec![("value".to_string(), total.into())],
+        });
+    }
+}
+
+/// Number of log-scale histogram buckets (base-2, covering `2^-30` up to
+/// `2^33`, i.e. sub-nanosecond seconds up to billions of samples).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Exponent of the lower bound of bucket 1 (`2^HISTOGRAM_MIN_EXP`).
+pub const HISTOGRAM_MIN_EXP: i32 = -30;
+
+/// A fixed-bucket log-scale histogram.
+///
+/// Bucket 0 collects zero, negative, and non-finite values; bucket `i`
+/// (for `i >= 1`) collects values in
+/// `[2^(MIN_EXP + i - 1), 2^(MIN_EXP + i))`, with the top bucket also
+/// absorbing overflow. Fixed bucket edges keep merged and re-run
+/// histograms directly comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: f64) -> usize {
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let exp = value.log2().floor() as i32;
+        (exp - HISTOGRAM_MIN_EXP + 1).clamp(0, HISTOGRAM_BUCKETS as i32 - 1) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`), a conservative log-scale estimate.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                return f64::powi(2.0, HISTOGRAM_MIN_EXP + i as i32);
+            }
+        }
+        self.max
+    }
+}
+
+/// Shared counter/histogram aggregation used by the concrete recorders.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsCore {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsCore {
+    pub(crate) fn add_counter(&self, name: &str, delta: u64) -> u64 {
+        let mut counters = self.counters.lock().expect("counter lock");
+        let slot = counters.entry(name.to_string()).or_insert(0);
+        *slot += delta;
+        *slot
+    }
+
+    pub(crate) fn observe(&self, name: &str, value: f64) {
+        let mut hists = self.histograms.lock().expect("histogram lock");
+        hists.entry(name.to_string()).or_default().observe(value);
+    }
+
+    pub(crate) fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().expect("counter lock").clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms
+            .lock()
+            .expect("histogram lock")
+            .get(name)
+            .cloned()
+    }
+}
+
+/// A recorder that aggregates nothing and keeps no events — the zero-cost
+/// default wired into every instrumented driver. Its clock still runs, so
+/// code can advance time unconditionally.
+#[derive(Debug, Default)]
+pub struct NullRecorder {
+    clock: VirtualClock,
+}
+
+impl NullRecorder {
+    /// A fresh null recorder at time zero.
+    pub fn new() -> Self {
+        NullRecorder::default()
+    }
+}
+
+impl Recorder for NullRecorder {
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn record(&self, _event: Event) {}
+
+    fn add_counter(&self, _name: &str, _delta: u64) -> u64 {
+        0
+    }
+
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    // Skip building Event values the base methods would discard.
+    fn span_start(&self, track: u32, name: &str, _fields: Fields) -> SpanId {
+        let _ = name;
+        SpanId {
+            name: String::new(),
+            track,
+        }
+    }
+
+    fn span_end(&self, _span: SpanId, _fields: Fields) {}
+
+    fn instant(&self, _track: u32, _name: &str, _fields: Fields) {}
+
+    fn counter(&self, _track: u32, _name: &str, _delta: u64) {}
+}
+
+/// A recorder that keeps the complete event timeline in memory, plus
+/// counter and histogram aggregates — the source for the exporters.
+#[derive(Debug, Default)]
+pub struct TimelineRecorder {
+    clock: VirtualClock,
+    events: Mutex<Vec<Event>>,
+    metrics: MetricsCore,
+}
+
+impl TimelineRecorder {
+    /// An empty timeline at time zero.
+    pub fn new() -> Self {
+        TimelineRecorder::default()
+    }
+
+    /// A copy of every recorded event, in record order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("event lock").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.metrics.counters()
+    }
+
+    /// Snapshot of the named histogram, if observed.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.metrics.histogram(name)
+    }
+}
+
+impl Recorder for TimelineRecorder {
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn record(&self, event: Event) {
+        self.events.lock().expect("event lock").push(event);
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) -> u64 {
+        self.metrics.add_counter(name, delta)
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.metrics.observe(name, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields;
+
+    #[test]
+    fn timeline_records_span_edges_in_order() {
+        let rec = TimelineRecorder::new();
+        let span = rec.span_start(0, "epoch", fields! { "epoch" => 0usize });
+        rec.clock().advance(2.0);
+        rec.instant(1, "crash", fields! { "worker" => 1u32 });
+        rec.clock().advance(1.0);
+        rec.span_end(span, fields! { "loss" => 0.25 });
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[0].ts_micros, 0);
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[1].ts_micros, 2_000_000);
+        assert_eq!(events[2].kind, EventKind::SpanEnd);
+        assert_eq!(events[2].name, "epoch");
+        assert_eq!(events[2].ts_micros, 3_000_000);
+    }
+
+    #[test]
+    fn counters_accumulate_and_sample() {
+        let rec = TimelineRecorder::new();
+        rec.counter(0, "samples", 64);
+        rec.counter(0, "samples", 64);
+        assert_eq!(rec.counters()["samples"], 128);
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].fields[0].1, crate::FieldValue::U64(128));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        // 1.0 = 2^0 -> exponent 0 -> bucket 0 - (-30) + 1 = 31
+        assert_eq!(Histogram::bucket_index(1.0), 31);
+        assert_eq!(Histogram::bucket_index(2.0), 32);
+        assert_eq!(Histogram::bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        let mut h = Histogram::default();
+        for v in [0.5, 1.0, 2.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert!((h.mean() - 1.875).abs() < 1e-12);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 4.0);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn null_recorder_discards_everything_but_keeps_time() {
+        let rec = NullRecorder::new();
+        let span = rec.span_start(0, "x", fields! { "a" => 1u64 });
+        rec.clock().advance(1.0);
+        rec.span_end(span, fields!());
+        rec.counter(0, "c", 10);
+        assert_eq!(rec.add_counter("c", 5), 0);
+        assert_eq!(rec.clock().now_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn recorder_is_object_safe_and_sharable() {
+        let rec: std::sync::Arc<dyn Recorder> = std::sync::Arc::new(TimelineRecorder::new());
+        let span = rec.span_start(0, "s", fields!());
+        rec.span_end(span, fields!());
+    }
+}

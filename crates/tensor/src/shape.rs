@@ -125,7 +125,7 @@ impl Shape {
     pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() {
                 1
             } else {
@@ -136,7 +136,7 @@ impl Shape {
             } else {
                 other.dims[i - (rank - other.rank())]
             };
-            dims[i] = match (a, b) {
+            *dim = match (a, b) {
                 (a, b) if a == b => a,
                 (1, b) => b,
                 (a, 1) => a,
