@@ -1,71 +1,292 @@
-//! The experiment runner: `exp <id>... [--trace <path>]` or `exp all`.
+//! The experiment runner.
+//!
+//! ```text
+//! exp <id>... [--trace <path>] [--profile] [--profile-json <path>] [--baseline <dir>]
+//! exp check --against <dir> [id...]
+//! exp --list
+//! ```
 //!
 //! Prints each experiment's table and verdict and writes a JSON record to
 //! `target/experiments/<id>.json` (override the directory with
-//! `DL_EXPERIMENT_DIR`). With `--trace <path>`, every selected experiment
-//! is recorded onto one shared timeline and exported as a Chrome
-//! `trace_event` JSON file (loadable in `chrome://tracing` or Perfetto).
+//! `DL_EXPERIMENT_DIR`).
+//!
+//! * `--trace <path>` — record every selected experiment onto one shared
+//!   timeline and export it as a Chrome `trace_event` JSON file (loadable
+//!   in `chrome://tracing` or Perfetto). If `<path>` is an existing
+//!   directory, each experiment instead gets its own timeline, written to
+//!   `<path>/<id>.trace.json`.
+//! * `--profile` — after each experiment, analyze its trace with
+//!   `dl-prof`: per-run wall-time decomposition (compute / sync /
+//!   checkpoint / recovery / replay), the critical path and the fraction
+//!   of wall time it explains, and per-worker lost-time attribution.
+//! * `--profile-json <path>` — write the same analysis as JSON.
+//! * `--baseline <dir>` — snapshot each experiment's numeric records to
+//!   `<dir>/BENCH_<ID>.json` for later `exp check` runs.
+//! * `check --against <dir>` — re-run every experiment that has a
+//!   `BENCH_<ID>.json` in `<dir>` (or just the listed ids) and diff the
+//!   fresh records against the stored baseline under tolerance bands.
 //!
 //! Exit codes: `0` success, `1` an experiment failed, `2` bad usage
-//! (unknown id or flag — detected before anything runs).
+//! (unknown id or flag — detected before anything runs), `3` baseline
+//! regression (`exp check` found drift).
 
-use dl_bench::{all_ids, run_experiment_traced};
-use dl_obs::{export, NullRecorder, Recorder, TimelineRecorder};
+use std::path::{Path, PathBuf};
+
+use dl_bench::{all_ids, run_experiment, run_experiment_traced, Table};
+use dl_obs::{export, NullRecorder, Recorder, TimelineRecorder, ToFields};
+use dl_prof::{analyze, runs, Baseline, Tolerance, TraceProfile};
+
+/// Span names that mark one distributed training run on the timeline.
+const RUN_SPANS: [&str; 2] = ["local_sgd", "resilient_local_sgd"];
 
 struct Args {
     ids: Vec<String>,
     trace_path: Option<String>,
+    profile: bool,
+    profile_json: Option<String>,
+    baseline_dir: Option<String>,
+    against: Option<String>,
+    check: bool,
     list: bool,
+}
+
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    match args.get(*i) {
+        Some(p) if !p.starts_with('-') => Ok(p.clone()),
+        _ => Err(format!("{flag} requires a path argument")),
+    }
 }
 
 /// Parses the command line; returns an error message for bad usage.
 fn parse(args: &[String]) -> Result<Args, String> {
-    let mut ids = Vec::new();
-    let mut trace_path = None;
-    let mut list = false;
-    let mut i = 0;
+    let mut parsed = Args {
+        ids: Vec::new(),
+        trace_path: None,
+        profile: false,
+        profile_json: None,
+        baseline_dir: None,
+        against: None,
+        check: args.first().map(String::as_str) == Some("check"),
+        list: false,
+    };
+    let mut i = usize::from(parsed.check);
     while i < args.len() {
         match args[i].as_str() {
-            "--list" => list = true,
-            "--trace" => {
-                i += 1;
-                match args.get(i) {
-                    Some(p) if !p.starts_with('-') => trace_path = Some(p.clone()),
-                    _ => return Err("--trace requires a file path".into()),
-                }
+            "--list" => parsed.list = true,
+            "--profile" => parsed.profile = true,
+            "--trace" => parsed.trace_path = Some(flag_value(args, &mut i, "--trace")?),
+            "--profile-json" => {
+                parsed.profile_json = Some(flag_value(args, &mut i, "--profile-json")?);
             }
+            "--baseline" => parsed.baseline_dir = Some(flag_value(args, &mut i, "--baseline")?),
+            "--against" => parsed.against = Some(flag_value(args, &mut i, "--against")?),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
             }
-            "all" => ids.extend(all_ids()),
-            id => ids.push(id.to_string()),
+            "all" => parsed.ids.extend(all_ids()),
+            id => parsed.ids.push(id.to_string()),
         }
         i += 1;
     }
-    if !list && ids.is_empty() {
+    if parsed.check {
+        if parsed.against.is_none() {
+            return Err("check requires --against <dir>".into());
+        }
+    } else if parsed.against.is_some() {
+        return Err("--against only applies to the check subcommand".into());
+    }
+    if !parsed.check && !parsed.list && parsed.ids.is_empty() {
         return Err("no experiments selected".into());
     }
     // Validate every id up front so a typo exits before hours of runs.
     let known = all_ids();
-    for id in &ids {
+    for id in &parsed.ids {
         let canonical = id.to_ascii_lowercase();
         if !known.contains(&canonical) {
             return Err(format!(
-                "unknown experiment {id:?}; expected e1..e23, a1..a4, or 'all'"
+                "unknown experiment {id:?}; expected e1..e24, a1..a4, or 'all'"
             ));
         }
     }
-    Ok(Args {
-        ids,
-        trace_path,
-        list,
-    })
+    Ok(parsed)
+}
+
+/// Renders one run's wall-time decomposition and, when the run saw
+/// crashes, the per-worker lost-time attribution.
+fn render_profile(label: &str, p: &TraceProfile) -> String {
+    let mut out = String::new();
+    let mut phases = Table::new(&[
+        "run", "total s", "compute s", "sync s", "ckpt s", "recovery s", "replay s",
+        "crit path s", "explained",
+    ]);
+    phases.row(&[
+        label.into(),
+        format!("{:.4}", p.total_seconds),
+        format!("{:.4}", p.compute_seconds),
+        format!("{:.4}", p.sync_seconds),
+        format!("{:.4}", p.checkpoint_seconds),
+        format!("{:.4}", p.recovery_seconds),
+        format!("{:.4}", p.replay_seconds),
+        format!("{:.4}", p.critical_path_seconds()),
+        format!("{:.1}%", p.explained_fraction() * 100.0),
+    ]);
+    out.push_str(&phases.render());
+    if !p.workers.is_empty() {
+        let mut workers = Table::new(&[
+            "worker", "crashes", "rejoins", "recovery s", "replay s", "lost s", "share of lost",
+        ]);
+        for w in &p.workers {
+            workers.row(&[
+                format!("{}", w.worker),
+                format!("{}", w.crashes),
+                format!("{}", w.rejoins),
+                format!("{:.4}", w.recovery_seconds),
+                format!("{:.4}", w.replay_seconds),
+                format!("{:.4}", w.lost_seconds()),
+                format!("{:.1}%", w.share * 100.0),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&workers.render());
+    }
+    out
+}
+
+/// Extracts every distributed run window from `events` and profiles it.
+fn profiles_of(events: &[dl_obs::Event]) -> Vec<(String, TraceProfile)> {
+    let mut out = Vec::new();
+    for name in RUN_SPANS {
+        for (i, window) in runs(events, name).iter().enumerate() {
+            out.push((format!("{name}#{i}"), analyze(window)));
+        }
+    }
+    out
+}
+
+/// One experiment's profiles as a JSON object (baseline-grade formatting:
+/// sorted keys inside each profile, stable ordering).
+fn profiles_json(id: &str, profiles: &[(String, TraceProfile)]) -> String {
+    let mut out = format!("{{\"id\": \"{id}\", \"profiles\": [");
+    for (i, (label, p)) in profiles.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let mut fields = p.to_fields();
+        fields.insert(0, ("run".to_string(), label.as_str().into()));
+        out.push_str("{\"profile\": ");
+        out.push_str(&export::fields_to_json(&fields));
+        out.push_str(", \"workers\": [");
+        for (j, w) in p.workers.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&export::fields_to_json(&w.to_fields()));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Maps a `BENCH_E05.json` file name back to its experiment id (`e5`).
+fn id_of_baseline_file(name: &str) -> Option<String> {
+    let stem = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+    let mut id = String::new();
+    let mut digits = String::new();
+    for c in stem.chars() {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else {
+            id.extend(c.to_lowercase());
+        }
+    }
+    let trimmed = digits.trim_start_matches('0');
+    id.push_str(if trimmed.is_empty() { "0" } else { trimmed });
+    Some(id)
+}
+
+/// `exp check --against <dir>`: re-run and diff. Returns the exit code.
+fn check(dir: &Path, ids: &[String]) -> i32 {
+    let ids: Vec<String> = if ids.is_empty() {
+        let mut found: Vec<String> = match std::fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| id_of_baseline_file(&e.file_name().to_string_lossy()))
+                .filter(|id| all_ids().contains(id))
+                .collect(),
+            Err(e) => {
+                eprintln!("error: cannot read baseline dir {}: {e}", dir.display());
+                return 2;
+            }
+        };
+        found.sort();
+        if found.is_empty() {
+            eprintln!("error: no BENCH_*.json baselines in {}", dir.display());
+            return 2;
+        }
+        found
+    } else {
+        ids.to_vec()
+    };
+
+    let mut failed = false;
+    let mut drifted = false;
+    for id in &ids {
+        let stored = match Baseline::load(dir, id) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{id}: cannot load baseline: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let result = match run_experiment(id) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{id}: experiment failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let current = Baseline::from_records(id, &result.title, &result.verdict, &result.records);
+        let drifts = stored.diff(&current, Tolerance::default());
+        let verdict_changed = stored.verdict != current.verdict;
+        if drifts.is_empty() && !verdict_changed {
+            println!("{id}: ok ({} metrics within tolerance)", stored.metrics.len());
+            continue;
+        }
+        drifted = true;
+        println!("{id}: REGRESSION ({} drifts)", drifts.len() + usize::from(verdict_changed));
+        for d in &drifts {
+            println!("  {}", d.describe());
+        }
+        if verdict_changed {
+            println!(
+                "  verdict changed: {:?} -> {:?}",
+                stored.verdict, current.verdict
+            );
+        }
+    }
+    if failed {
+        1
+    } else if drifted {
+        3
+    } else {
+        0
+    }
 }
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: exp <e1..e23|a1..a4|all> [more ids...] [--trace <path>] | --list");
+        eprintln!(
+            "usage: exp <e1..e24|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
+             \x20           [--profile-json <path>] [--baseline <dir>]\n\
+             \x20      exp check --against <dir> [id...]\n\
+             \x20      exp --list\n\
+             exit codes: 0 ok, 1 experiment failed, 2 bad usage, 3 baseline regression"
+        );
         std::process::exit(2);
     }
     let args = match parse(&raw) {
@@ -81,12 +302,36 @@ fn main() {
         }
         return;
     }
+    if args.check {
+        let dir = PathBuf::from(args.against.expect("checked in parse"));
+        std::process::exit(check(&dir, &args.ids));
+    }
 
-    let timeline = args.trace_path.as_ref().map(|_| TimelineRecorder::new());
+    // A trace path naming an existing directory means one timeline (and
+    // one trace file) per experiment; a file path means one shared
+    // timeline across everything selected.
+    let trace_dir = args
+        .trace_path
+        .as_ref()
+        .filter(|p| Path::new(p.as_str()).is_dir())
+        .cloned();
+    let profiling = args.profile || args.profile_json.is_some();
+    let shared = if (args.trace_path.is_some() && trace_dir.is_none()) || profiling {
+        Some(TimelineRecorder::new())
+    } else {
+        None
+    };
     let null = NullRecorder::new();
     let mut failed = false;
+    let mut all_profiles = Vec::new();
     for id in &args.ids {
-        let rec: &dyn Recorder = timeline.as_ref().map_or(&null, |t| t as &dyn Recorder);
+        let per_exp = trace_dir.as_ref().map(|_| TimelineRecorder::new());
+        let rec: &dyn Recorder = per_exp
+            .as_ref()
+            .map(|t| t as &dyn Recorder)
+            .or(shared.as_ref().map(|t| t as &dyn Recorder))
+            .unwrap_or(&null);
+        let events_before = shared.as_ref().map_or(0, TimelineRecorder::len);
         match run_experiment_traced(id, rec) {
             Ok(result) => {
                 println!("{}", result.render());
@@ -94,14 +339,66 @@ fn main() {
                     Ok(path) => println!("record: {}\n", path.display()),
                     Err(e) => eprintln!("warning: could not save record: {e}"),
                 }
+                if let Some(dir) = &args.baseline_dir {
+                    let b = Baseline::from_records(id, &result.title, &result.verdict, &result.records);
+                    match b.save(Path::new(dir)) {
+                        Ok(path) => println!("baseline: {}\n", path.display()),
+                        Err(e) => {
+                            eprintln!("error: could not save baseline: {e}");
+                            failed = true;
+                        }
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");
                 failed = true;
             }
         }
+        let events = match (&per_exp, &shared) {
+            (Some(t), _) => t.events(),
+            (None, Some(t)) => t.events()[events_before..].to_vec(),
+            (None, None) => Vec::new(),
+        };
+        if profiling {
+            let profiles = profiles_of(&events);
+            if args.profile {
+                if profiles.is_empty() {
+                    println!("profile: {id} recorded no distributed runs to analyze\n");
+                }
+                for (label, p) in &profiles {
+                    println!("profile: {id} {label}");
+                    println!("{}", render_profile(label, p));
+                }
+            }
+            all_profiles.push((id.clone(), profiles));
+        }
+        if let (Some(dir), Some(t)) = (&trace_dir, &per_exp) {
+            let path = Path::new(dir).join(format!("{id}.trace.json"));
+            match std::fs::write(&path, export::chrome_trace_to_string(&t.events())) {
+                Ok(()) => println!("trace: {} ({} events)", path.display(), t.len()),
+                Err(e) => {
+                    eprintln!("error: could not write trace to {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
     }
-    if let (Some(path), Some(timeline)) = (&args.trace_path, &timeline) {
+    if let Some(path) = &args.profile_json {
+        let body = all_profiles
+            .iter()
+            .map(|(id, profiles)| profiles_json(id, profiles))
+            .collect::<Vec<_>>()
+            .join(",\n  ");
+        match std::fs::write(path, format!("[\n  {body}\n]\n")) {
+            Ok(()) => println!("profile json: {path}"),
+            Err(e) => {
+                eprintln!("error: could not write profile json to {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let (Some(path), None, Some(timeline)) = (&args.trace_path, &trace_dir, &shared) {
         let trace = export::chrome_trace_to_string(&timeline.events());
         match std::fs::write(path, trace) {
             Ok(()) => println!("trace: {path} ({} events)", timeline.len()),

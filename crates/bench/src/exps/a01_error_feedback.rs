@@ -8,7 +8,7 @@
 
 use crate::table::{f3, ExperimentResult, Table};
 use dl_distributed::{compressed_sgd_opts, Cluster, Device, GradCompressor, Link};
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the ablation.
 pub fn run() -> ExperimentResult {
@@ -37,11 +37,11 @@ pub fn run() -> ExperimentResult {
             f3(without.accuracy),
             format!("{delta:+.3}"),
         ]);
-        records.push(json!({
-            "compressor": with.compressor,
-            "with_feedback": with.accuracy,
-            "without_feedback": without.accuracy,
-        }));
+        records.push(fields! {
+            "compressor" => with.compressor,
+            "with_feedback" => with.accuracy,
+            "without_feedback" => without.accuracy,
+        });
         worst_delta = worst_delta.max(delta);
     }
     ExperimentResult {

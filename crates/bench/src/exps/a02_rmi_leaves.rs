@@ -8,7 +8,7 @@
 use crate::table::{bytes, f3, ExperimentResult, Table};
 use dl_data::KeyDistribution;
 use dl_learneddb::RecursiveModelIndex;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the ablation.
 pub fn run() -> ExperimentResult {
@@ -27,10 +27,10 @@ pub fn run() -> ExperimentResult {
                 bytes(rmi.size_bytes() as u64),
                 f3(mean_w),
             ]);
-            records.push(json!({
-                "distribution": dist.name(), "leaves": leaves,
-                "bytes": rmi.size_bytes(), "mean_window": mean_w,
-            }));
+            records.push(fields! {
+                "distribution" => dist.name(), "leaves" => leaves,
+                "bytes" => rmi.size_bytes(), "mean_window" => mean_w,
+            });
             if mean_w > last_window * 1.5 {
                 monotone = false; // windows should shrink (or plateau)
             }

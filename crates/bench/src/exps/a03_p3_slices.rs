@@ -12,7 +12,7 @@
 
 use crate::table::{ExperimentResult, Table};
 use dl_distributed::{Link, LayerComm};
-use serde_json::json;
+use dl_obs::fields;
 
 /// A local re-implementation of the priority schedule with configurable
 /// slice count (mirrors `dl_distributed::priority`, kept in sync by the
@@ -108,7 +108,7 @@ pub fn run() -> ExperimentResult {
     let mut records = Vec::new();
     let fifo = schedule_backward_comm(&layers, &link, SchedulePolicy::Fifo).iteration_seconds;
     table.row(&["fifo".into(), format!("{fifo:.5}"), "+0.0%".into()]);
-    records.push(json!({"schedule": "fifo", "seconds": fifo}));
+    records.push(fields! {"schedule" => "fifo", "seconds" => fifo});
     let base = priority_with_slices(&layers, &link, 1);
     let mut s8 = base;
     let mut s64 = base;
@@ -119,7 +119,7 @@ pub fn run() -> ExperimentResult {
             format!("{secs:.5}"),
             format!("{:+.1}%", (secs / fifo - 1.0) * 100.0),
         ]);
-        records.push(json!({"schedule": format!("priority-{slices}"), "seconds": secs}));
+        records.push(fields! {"schedule" => format!("priority-{slices}"), "seconds" => secs});
         if slices == 8 {
             s8 = secs;
         }

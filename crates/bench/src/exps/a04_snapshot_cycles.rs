@@ -8,7 +8,7 @@
 use crate::table::{f3, flops, ExperimentResult, Table};
 use dl_ensemble::{fge, snapshot, FgeConfig};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the ablation.
 pub fn run() -> ExperimentResult {
@@ -35,10 +35,10 @@ pub fn run() -> ExperimentResult {
             f3(report.accuracy),
             flops(report.train_flops),
         ]);
-        records.push(json!({
-            "strategy": "snapshot", "members": members, "cycle": cycle,
-            "accuracy": report.accuracy,
-        }));
+        records.push(fields! {
+            "strategy" => "snapshot", "members" => members, "cycle" => cycle,
+            "accuracy" => report.accuracy,
+        });
         best_snapshot = best_snapshot.max(report.accuracy);
     }
     // FGE at the same budget: 12 warmup + 4 cycles of 3
@@ -62,14 +62,15 @@ pub fn run() -> ExperimentResult {
         f3(fge_report.accuracy),
         flops(fge_report.train_flops),
     ]);
-    records.push(json!({
-        "strategy": "fge", "accuracy": fge_report.accuracy,
-    }));
+    records.push(fields! {
+        "strategy" => "fge", "accuracy" => fge_report.accuracy,
+    });
     let extremes_lose = {
-        let shortest = records[0]["accuracy"].as_f64().unwrap_or(0.0);
+        use crate::table::field_f64;
+        let shortest = field_f64(&records[0], "accuracy").unwrap_or(0.0);
         let middle: f64 = records[1..3]
             .iter()
-            .map(|r| r["accuracy"].as_f64().unwrap_or(0.0))
+            .map(|r| field_f64(r, "accuracy").unwrap_or(0.0))
             .fold(0.0, f64::max);
         middle >= shortest
     };

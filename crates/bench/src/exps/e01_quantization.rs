@@ -4,17 +4,26 @@
 //! bit width shrinks, with the Huffman-coded codebook squeezing further
 //! losslessly.
 
-use crate::table::{bytes, f3, ExperimentResult, Table};
+use crate::table::{bytes, f3, flops, ExperimentResult, Table};
 use dl_compress::{quantize_network, QuantScheme};
 use dl_nn::Trainer;
-use serde_json::json;
+use dl_obs::fields;
+use dl_tensor::acct;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
     let (_, test, net, _) = super::digits_setup(600, &[64, 32], 20, 1);
     let base_acc = Trainer::evaluate(&mut net.clone(), &test);
+    // measured inference cost: what the kernels actually execute for one
+    // pass over the test set (zeroed weights after aggressive quantization
+    // genuinely skip multiplies).
+    let measure_fwd = |n: &dl_nn::Network| {
+        let mut m = n.clone();
+        acct::measure(|| m.predict(&test.x)).1.flops
+    };
+    let base_fwd = measure_fwd(&net);
     let mut table = Table::new(&[
-        "scheme", "accuracy", "acc drop", "bytes", "ratio", "huffman bytes",
+        "scheme", "accuracy", "acc drop", "bytes", "ratio", "huffman bytes", "measured fwd",
     ]);
     let mut records = Vec::new();
     let schemes = [
@@ -34,15 +43,18 @@ pub fn run() -> ExperimentResult {
         bytes(fp32_bytes as u64),
         "1.00".into(),
         "-".into(),
+        flops(base_fwd),
     ]);
-    records.push(json!({
-        "scheme": "fp32", "accuracy": base_acc,
-        "bytes": fp32_bytes, "inference_flops": net.cost_profile(1).forward_flops,
-    }));
+    records.push(fields! {
+        "scheme" => "fp32", "accuracy" => base_acc,
+        "bytes" => fp32_bytes, "inference_flops" => net.cost_profile(1).forward_flops,
+        "measured_fwd_flops" => base_fwd,
+    });
     let mut monotone_check: Vec<(u8, f64)> = Vec::new();
     for scheme in schemes {
         let (mut q, report) = quantize_network(&net, scheme);
         let acc = Trainer::evaluate(&mut q, &test);
+        let q_fwd = measure_fwd(&q);
         table.row(&[
             report.scheme.clone(),
             f3(acc),
@@ -50,16 +62,18 @@ pub fn run() -> ExperimentResult {
             bytes(report.compressed_bytes as u64),
             format!("{:.2}", report.ratio()),
             bytes(report.huffman_bytes as u64),
+            flops(q_fwd),
         ]);
         if let QuantScheme::Affine { bits } = scheme {
             monotone_check.push((bits, acc));
         }
-        records.push(json!({
-            "scheme": report.scheme, "accuracy": acc,
-            "bytes": report.compressed_bytes,
-            "huffman_bytes": report.huffman_bytes,
-            "inference_flops": net.cost_profile(1).forward_flops,
-        }));
+        records.push(fields! {
+            "scheme" => report.scheme, "accuracy" => acc,
+            "bytes" => report.compressed_bytes,
+            "huffman_bytes" => report.huffman_bytes,
+            "inference_flops" => net.cost_profile(1).forward_flops,
+            "measured_fwd_flops" => q_fwd,
+        });
     }
     let shape_holds = monotone_check.windows(2).all(|w| w[0].1 >= w[1].1 - 0.05);
     ExperimentResult {

@@ -8,7 +8,7 @@ use crate::table::{f3, ExperimentResult, Table};
 use dl_compress::{distill, DistillConfig};
 use dl_nn::{Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -67,14 +67,14 @@ pub fn run() -> ExperimentResult {
             f3(distilled_acc),
             format!("{:+.3}", distilled_acc - scratch_acc),
         ]);
-        records.push(json!({
-            "hidden": hidden, "params": student.param_count(),
-            "scratch_acc": scratch_acc, "distilled_acc": distilled_acc,
-            "teacher_params": report.teacher_params,
-        }));
+        records.push(fields! {
+            "hidden" => hidden, "params" => student.param_count(),
+            "scratch_acc" => scratch_acc, "distilled_acc" => distilled_acc,
+            "teacher_params" => report.teacher_params,
+        });
         gains.push(distilled_acc - scratch_acc);
     }
-    records.push(json!({"teacher_acc": teacher_acc, "teacher_params": teacher.param_count()}));
+    records.push(fields! {"teacher_acc" => teacher_acc, "teacher_params" => teacher.param_count()});
     ExperimentResult {
         id: "e3".into(),
         title: format!(

@@ -8,7 +8,7 @@ use crate::table::{f3, flops, ExperimentResult, Table};
 use dl_ensemble::{independent, mothernet, snapshot, treenet, MotherNetConfig, TreeNetConfig};
 use dl_nn::TrainConfig;
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -28,11 +28,11 @@ pub fn run() -> ExperimentResult {
             format!("{}", r.params),
             flops(r.inference_flops),
         ]);
-        records.push(json!({
-            "strategy": r.strategy, "accuracy": r.accuracy,
-            "train_flops": r.train_flops, "params": r.params,
-            "inference_flops": r.inference_flops,
-        }));
+        records.push(fields! {
+            "strategy" => r.strategy, "accuracy" => r.accuracy,
+            "train_flops" => r.train_flops, "params" => r.params,
+            "inference_flops" => r.inference_flops,
+        });
     };
     let (_, indep) = independent(
         &train,

@@ -3,7 +3,7 @@
 //! Claim: training communicates less as the averaging period grows, with
 //! only a modest accuracy cost.
 
-use crate::table::{bytes, f3, fields_json, ExperimentResult, Table};
+use crate::table::{bytes, f3, ExperimentResult, Table};
 use dl_distributed::{local_sgd_traced, Cluster, Device, Link, LocalSgdConfig};
 use dl_obs::{NullRecorder, Recorder, ToFields};
 
@@ -46,7 +46,7 @@ pub fn run_with(rec: &dyn Recorder) -> ExperimentResult {
             format!("{}", report.sync_rounds),
         ]);
         // the span-annotation schema doubles as the JSON record
-        records.push(fields_json(&report.to_fields()));
+        records.push(report.to_fields());
         results.push(report);
     }
     let comm_drops = results.windows(2).all(|w| w[1].bytes_communicated < w[0].bytes_communicated);

@@ -5,10 +5,10 @@
 //! accuracy cost; priority scheduling further hides what remains.
 
 use crate::table::{bytes, f3, ExperimentResult, Table};
+use dl_obs::fields;
 use dl_distributed::{
     compressed_sgd, schedule_backward_comm, Cluster, Device, GradCompressor, Link, SchedulePolicy,
 };
-use serde_json::json;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -34,10 +34,10 @@ pub fn run() -> ExperimentResult {
             format!("{:.1}x", r.ratio()),
             format!("{:.4}", r.simulated_seconds),
         ]);
-        records.push(json!({
-            "compressor": r.compressor, "accuracy": r.accuracy,
-            "bytes": r.bytes_communicated, "ratio": r.ratio(),
-        }));
+        records.push(fields! {
+            "compressor" => r.compressor.as_str(), "accuracy" => r.accuracy,
+            "bytes" => r.bytes_communicated, "ratio" => r.ratio(),
+        });
         reports.push(r);
     }
     // priority-propagation coda: one iteration scheduled both ways, on a
@@ -66,10 +66,10 @@ pub fn run() -> ExperimentResult {
         ),
         format!("{:.5} vs {:.5}", prio.iteration_seconds, fifo.iteration_seconds),
     ]);
-    records.push(json!({
-        "p3_fifo_seconds": fifo.iteration_seconds,
-        "p3_priority_seconds": prio.iteration_seconds,
-    }));
+    records.push(fields! {
+        "p3_fifo_seconds" => fifo.iteration_seconds,
+        "p3_priority_seconds" => prio.iteration_seconds,
+    });
     let dense_acc = reports[0].accuracy;
     let big_ratio = reports.last().map(|r| r.ratio()).unwrap_or(1.0);
     let acc_holds = reports.iter().all(|r| r.accuracy > dense_acc - 0.15);

@@ -10,7 +10,7 @@ use dl_distributed::{
     PlacementSearchConfig,
 };
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -34,7 +34,7 @@ pub fn run() -> ExperimentResult {
             format!("{bytes}"),
             format!("{evals}"),
         ]);
-        records.push(json!({"strategy": name, "step_seconds": secs, "transfer_bytes": bytes}));
+        records.push(fields! {"strategy" => name, "step_seconds" => secs, "transfer_bytes" => bytes});
     };
     add("single-device", single.step_seconds, single.transfer_bytes, 1);
     add("round-robin", rr.step_seconds, rr.transfer_bytes, 1);

@@ -6,7 +6,7 @@
 use crate::table::{f3, ExperimentResult, Table};
 use dl_distributed::{morph_resize, uniform_baseline, MorphConfig};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -40,10 +40,11 @@ pub fn run() -> ExperimentResult {
             format!("{}", u.final_params),
             f3(u.accuracy),
         ]);
-        records.push(json!({
-            "budget": budget, "morph_acc": m.accuracy, "uniform_acc": u.accuracy,
-            "morph_widths": m.final_widths, "uniform_widths": u.final_widths,
-        }));
+        records.push(fields! {
+            "budget" => budget, "morph_acc" => m.accuracy, "uniform_acc" => u.accuracy,
+            "morph_widths" => format!("{:?}", m.final_widths),
+            "uniform_widths" => format!("{:?}", u.final_widths),
+        });
         budgets_run += 1;
         if m.accuracy >= u.accuracy - 0.02 {
             morph_wins += 1;

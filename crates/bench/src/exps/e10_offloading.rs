@@ -6,8 +6,9 @@
 
 use crate::table::{bytes, f3, ExperimentResult, Table};
 use dl_memsched::offload_plan;
+use dl_obs::fields;
+use dl_prof::NetworkProfile;
 use dl_tensor::init;
-use serde_json::json;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -16,6 +17,16 @@ pub fn run() -> ExperimentResult {
         &mut init::rng(70),
     );
     let profile = net.cost_profile(128);
+    // ground the model in a measurement: profile the same architecture at a
+    // small batch and check the modeled activation bytes against what a
+    // real forward/backward pass holds live (geometry scales linearly in
+    // batch, so the parity at batch 8 validates the batch-128 model).
+    let probe_batch = 8;
+    let x = init::uniform([probe_batch, 512], -1.0, 1.0, &mut init::rng(71));
+    let measured = NetworkProfile::profile(&mut net.clone(), &x);
+    let modeled_small = net.cost_profile(probe_batch);
+    let act_parity = measured.peak_live_bytes as f64
+        / (measured.param_bytes + measured.input_bytes + modeled_small.activation_bytes()) as f64;
     let flops_per_sec = 10e12;
     let mut table = Table::new(&[
         "offload %", "device bytes", "host bytes", "slowdown (fast link)", "slowdown (slow link)",
@@ -33,12 +44,12 @@ pub fn run() -> ExperimentResult {
             f3(fast.slowdown()),
             f3(slow.slowdown()),
         ]);
-        records.push(json!({
-            "fraction": frac,
-            "device_bytes": fast.device_bytes,
-            "slowdown_fast": fast.slowdown(),
-            "slowdown_slow": slow.slowdown(),
-        }));
+        records.push(fields! {
+            "fraction" => frac,
+            "device_bytes" => fast.device_bytes,
+            "slowdown_fast" => fast.slowdown(),
+            "slowdown_slow" => slow.slowdown(),
+        });
         if frac > 0.0 {
             if fast.slowdown() > 1.001 {
                 hidden_on_fast = false;
@@ -48,6 +59,12 @@ pub fn run() -> ExperimentResult {
             }
         }
     }
+    records.push(fields! {
+        "probe_batch" => probe_batch,
+        "measured_peak_live_bytes" => measured.peak_live_bytes,
+        "measured_fwd_flops" => measured.forward.flops,
+        "activation_parity" => act_parity,
+    });
     ExperimentResult {
         id: "e10".into(),
         title: "offloading: device memory vs training-time overhead".into(),

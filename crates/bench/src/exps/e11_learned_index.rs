@@ -7,7 +7,7 @@
 use crate::table::{bytes, f3, ExperimentResult, Table};
 use dl_data::KeyDistribution;
 use dl_learneddb::{BTreeIndex, RecursiveModelIndex};
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -41,12 +41,12 @@ pub fn run() -> ExperimentResult {
             format!("{max_w}"),
             format!("{} leaves", rmi.leaf_count()),
         ]);
-        records.push(json!({
-            "distribution": dist.name(),
-            "btree_bytes": bt.size_bytes(), "btree_depth": bt.depth(),
-            "rmi_bytes": rmi.size_bytes(), "rmi_mean_window": mean_w,
-            "rmi_max_window": max_w,
-        }));
+        records.push(fields! {
+            "distribution" => dist.name(),
+            "btree_bytes" => bt.size_bytes(), "btree_depth" => bt.depth(),
+            "rmi_bytes" => rmi.size_bytes(), "rmi_mean_window" => mean_w,
+            "rmi_max_window" => max_w,
+        });
         if matches!(dist, KeyDistribution::Uniform | KeyDistribution::Lognormal)
             && rmi.size_bytes() >= bt.size_bytes()
         {

@@ -7,7 +7,7 @@
 use crate::table::{bytes, ExperimentResult, Table};
 use dl_learneddb::{BloomFilter, LearnedBloom};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -43,11 +43,11 @@ pub fn run() -> ExperimentResult {
             bytes(learned.size_bytes() as u64),
             format!("{l_fn}"),
         ]);
-        records.push(json!({
-            "target_fpr": target,
-            "classic_fpr": c_fpr, "classic_bytes": classic.size_bytes(),
-            "learned_fpr": l_fpr, "learned_bytes": learned.size_bytes(),
-        }));
+        records.push(fields! {
+            "target_fpr" => target,
+            "classic_fpr" => c_fpr, "classic_bytes" => classic.size_bytes(),
+            "learned_fpr" => l_fpr, "learned_bytes" => learned.size_bytes(),
+        });
         if learned.size_bytes() < classic.size_bytes() && l_fpr < target * 4.0 {
             learned_smaller_somewhere = true;
         }

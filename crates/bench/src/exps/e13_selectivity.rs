@@ -9,7 +9,7 @@ use dl_data::{CorrelatedTable, RangePredicate};
 use dl_learneddb::{HistogramEstimator, NeuralEstimator, SamplingEstimator};
 use dl_learneddb::cardinality::q_error;
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 fn median(v: &mut [f64]) -> f64 {
     v.sort_by(f64::total_cmp);
@@ -42,9 +42,9 @@ pub fn run() -> ExperimentResult {
         }
         let (h, s, n) = (median(&mut hq), median(&mut sq), median(&mut nq));
         table.row(&[format!("{dims}"), f3(h), f3(s), f3(n)]);
-        records.push(json!({
-            "dims": dims, "hist_qerr": h, "sample_qerr": s, "neural_qerr": n,
-        }));
+        records.push(fields! {
+            "dims" => dims, "hist_qerr" => h, "sample_qerr" => s, "neural_qerr" => n,
+        });
         if dims >= 3 && n < h {
             neural_wins_high_dim = true;
         }

@@ -7,7 +7,7 @@
 use crate::table::{f3, ExperimentResult, Table};
 use dl_learneddb::tuner::{grid_search, random_search, tuner_rng};
 use dl_learneddb::{DbSimulator, QLearningTuner};
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -48,10 +48,10 @@ pub fn run() -> ExperimentResult {
             format!("{g:.0}"),
             f3(q / opt),
         ]);
-        records.push(json!({
-            "workload": name, "optimum": opt,
-            "qlearning": q, "random": r, "grid": g,
-        }));
+        records.push(fields! {
+            "workload" => name, "optimum" => opt,
+            "qlearning" => q, "random" => r, "grid" => g,
+        });
         if q / opt < 0.95 {
             all_near_optimal = false;
         }

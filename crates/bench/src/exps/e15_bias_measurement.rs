@@ -10,7 +10,7 @@ use dl_data::{CensusConfig, CensusData};
 use dl_fairness::FairnessReport;
 use dl_nn::{Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -46,12 +46,12 @@ pub fn run() -> ExperimentResult {
             f3(report.equalized_odds_gap()),
             f3(report.accuracy()),
         ]);
-        records.push(json!({
-            "bias": bias, "data_gap": data_gap,
-            "parity_gap": report.demographic_parity_diff(),
-            "eq_odds_gap": report.equalized_odds_gap(),
-            "accuracy": report.accuracy(),
-        }));
+        records.push(fields! {
+            "bias" => bias, "data_gap" => data_gap,
+            "parity_gap" => report.demographic_parity_diff(),
+            "eq_odds_gap" => report.equalized_odds_gap(),
+            "accuracy" => report.accuracy(),
+        });
         gaps.push(report.demographic_parity_diff());
     }
     let tracks = gaps.windows(2).filter(|w| w[1] > w[0] - 0.03).count() >= 3

@@ -12,7 +12,7 @@ use dl_fairness::{
 };
 use dl_nn::{Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -44,12 +44,12 @@ pub fn run() -> ExperimentResult {
             f3(r.equalized_odds_gap()),
             f3(r.accuracy()),
         ]);
-        records.push(json!({
-            "intervention": name,
-            "parity_gap": r.demographic_parity_diff(),
-            "eq_odds_gap": r.equalized_odds_gap(),
-            "accuracy": r.accuracy(),
-        }));
+        records.push(fields! {
+            "intervention" => name,
+            "parity_gap" => r.demographic_parity_diff(),
+            "eq_odds_gap" => r.equalized_odds_gap(),
+            "accuracy" => r.accuracy(),
+        });
     };
     add("none (baseline)", &base);
     let rew = train_reweighed(&data, &census.groups, 15, 122);

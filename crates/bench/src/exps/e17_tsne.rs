@@ -7,7 +7,7 @@
 use crate::table::{f3, ExperimentResult, Table};
 use dl_interpret::{neighborhood_preservation, pca, tsne, TsneConfig};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -34,9 +34,9 @@ pub fn run() -> ExperimentResult {
         table.row(&[format!("{dim}"), "t-sne".into(), f3(np_t)]);
         table.row(&[format!("{dim}"), "pca".into(), f3(np_p)]);
         table.row(&[format!("{dim}"), "random".into(), f3(np_r)]);
-        records.push(json!({
-            "dim": dim, "tsne": np_t, "pca": np_p, "random": np_r,
-        }));
+        records.push(fields! {
+            "dim" => dim, "tsne" => np_t, "pca" => np_p, "random" => np_r,
+        });
         cases += 1;
         if np_t > np_p && np_t > np_r * 2.0 {
             tsne_wins += 1;

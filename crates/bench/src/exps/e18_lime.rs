@@ -9,7 +9,7 @@ use crate::table::{f3, ExperimentResult, Table};
 use dl_interpret::{lime_explain, saliency, SurrogateTree};
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -50,7 +50,7 @@ pub fn run() -> ExperimentResult {
         let med = r2s[r2s.len() / 2];
         let rec = recovered as f64 / probes as f64;
         table.row(&[format!("{samples}"), f3(med), f3(rec)]);
-        records.push(json!({"samples": samples, "median_r2": med, "recovery": rec}));
+        records.push(fields! {"samples" => samples, "median_r2" => med, "recovery" => rec});
         final_recovery = rec;
         final_r2 = med;
     }
@@ -70,7 +70,7 @@ pub fn run() -> ExperimentResult {
         format!("fidelity {}", f3(fid)),
         format!("{} nodes", tree.node_count()),
     ]);
-    records.push(json!({"saliency_top": sal_top, "tree_fidelity": fid}));
+    records.push(fields! {"saliency_top" => sal_top, "tree_fidelity" => fid});
     ExperimentResult {
         id: "e18".into(),
         title: "LIME fidelity vs sample count + saliency/surrogate corroboration".into(),

@@ -9,7 +9,7 @@ use dl_interpret::store::IntermediateKey;
 use dl_interpret::{ActivationQuery, IntermediateStore};
 use dl_nn::{Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -76,15 +76,15 @@ pub fn run() -> ExperimentResult {
         "best class-3 unit |corr| (from store)".into(),
         format!("{:.3}", q.units[0].score.abs()),
     ]);
-    let records = vec![json!({
-        "logical_bytes": stats.logical_bytes,
-        "physical_bytes": stats.physical_bytes,
-        "ratio": stats.ratio(),
-        "dedup_hits": stats.dedup_hits,
-        "full_fetch_chunks": full.1,
-        "point_fetch_chunks": point.1,
-        "best_corr": q.units[0].score.abs(),
-    })];
+    let records = vec![fields! {
+        "logical_bytes" => stats.logical_bytes,
+        "physical_bytes" => stats.physical_bytes,
+        "ratio" => stats.ratio(),
+        "dedup_hits" => stats.dedup_hits,
+        "full_fetch_chunks" => full.1,
+        "point_fetch_chunks" => point.1,
+        "best_corr" => q.units[0].score.abs(),
+    }];
     ExperimentResult {
         id: "e19".into(),
         title: "Mistique-lite: storing 12 epochs of intermediates".into(),

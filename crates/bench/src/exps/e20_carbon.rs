@@ -9,7 +9,7 @@ use dl_green::{
     energy::energy_for, schedule_jobs, CarbonReport, HardwareProfile, Job, Region, SchedulePolicy,
 };
 use dl_tensor::init;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -42,11 +42,11 @@ pub fn run() -> ExperimentResult {
                     format!("{:.4}", carbon.kwh),
                     format!("{:.1}", carbon.grams_co2e),
                 ]);
-                records.push(json!({
-                    "model": name, "flops": total_flops, "hardware": hw.name,
-                    "region": region.name(), "kwh": carbon.kwh,
-                    "grams": carbon.grams_co2e,
-                }));
+                records.push(fields! {
+                    "model" => *name, "flops" => total_flops, "hardware" => hw.name,
+                    "region" => region.name(), "kwh" => carbon.kwh,
+                    "grams" => carbon.grams_co2e,
+                });
                 if hw.name == "datacenter-gpu" && region == Region::CoalBelt {
                     co2_by_size.push(carbon.grams_co2e);
                 }
@@ -77,10 +77,10 @@ pub fn run() -> ExperimentResult {
         "-".into(),
         format!("{:.0} vs {:.0}", naive.total_grams, aware.total_grams),
     ]);
-    records.push(json!({
-        "scheduler_naive_grams": naive.total_grams,
-        "scheduler_aware_grams": aware.total_grams,
-    }));
+    records.push(fields! {
+        "scheduler_naive_grams" => naive.total_grams,
+        "scheduler_aware_grams" => aware.total_grams,
+    });
     let grows = co2_by_size.windows(2).all(|w| w[1] > w[0] * 2.0);
     let region_gap = Region::CoalBelt.intensity() / Region::HydroNorth.intensity();
     let sched_saves = aware.total_grams < naive.total_grams * 0.2;

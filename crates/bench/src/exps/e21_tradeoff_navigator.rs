@@ -12,7 +12,7 @@ use crate::table::{f3, ExperimentResult, Table};
 use dl_compress::{magnitude_prune, quantize_network, QuantScheme};
 use dl_core::{Category, Constraint, Metrics, Registry, Technique, TradeoffNavigator};
 use dl_nn::Trainer;
-use serde_json::json;
+use dl_obs::fields;
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -104,15 +104,15 @@ pub fn run() -> ExperimentResult {
         pick.map(|t| t.name.clone()).unwrap_or_else(|| "none".into()),
         "-".into(),
     ]);
-    let records: Vec<serde_json::Value> = registry
+    let records: Vec<dl_obs::Fields> = registry
         .techniques()
         .iter()
         .map(|t| {
-            json!({
-                "name": t.name, "accuracy": t.metrics.accuracy,
-                "memory": t.metrics.memory_bytes,
-                "frontier": frontier_names.contains(&t.name.as_str()),
-            })
+            fields! {
+                "name" => t.name.as_str(), "accuracy" => t.metrics.accuracy,
+                "memory" => t.metrics.memory_bytes,
+                "frontier" => frontier_names.contains(&t.name.as_str()),
+            }
         })
         .collect();
     let multi_point_frontier = frontier.len() >= 3;

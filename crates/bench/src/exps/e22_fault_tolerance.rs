@@ -8,7 +8,7 @@
 //! each crash — and Local SGD's larger sync periods make recovery
 //! cheaper by shrinking the per-step replay cost.
 
-use crate::table::{f3, fields_json, ExperimentResult, Table};
+use crate::table::{f3, ExperimentResult, Table};
 use dl_core::{Category, Constraint, Metrics, Registry, Technique, TradeoffNavigator};
 use dl_distributed::{
     resilient_local_sgd_traced, Cluster, Device, FaultEvent, FaultPlan, FaultProfile, Link,
@@ -119,7 +119,7 @@ pub fn run_with(rec: &dyn Recorder) -> ExperimentResult {
                 // run span and become the machine-readable record.
                 let mut fields = report.to_fields();
                 fields.insert(0, ("faults".to_string(), label.into()));
-                records.push(fields_json(&fields));
+                records.push(fields.clone());
                 seconds.insert((label, sync_period, interval), report.simulated_seconds);
                 if label == "mtbf48" {
                     let step_flops = net.cost_profile(16).train_step_flops();

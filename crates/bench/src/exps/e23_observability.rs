@@ -13,7 +13,7 @@
 //! cluster cost model itself.
 
 use super::e22_fault_tolerance;
-use crate::table::{fields_json, ExperimentResult, Table};
+use crate::table::{ExperimentResult, Table};
 use dl_core::{Category, Metrics, Registry, Technique};
 use dl_distributed::{
     resilient_local_sgd, resilient_local_sgd_traced, Cluster, Device, Link, LocalSgdConfig,
@@ -175,8 +175,8 @@ pub fn run() -> ExperimentResult {
         })
         .expect("unique");
 
-    let mut records = vec![fields_json(&traced.to_fields())];
-    records.push(fields_json(&fields! {
+    let mut records = vec![traced.to_fields()];
+    records.push(fields! {
         "events" => events.len(),
         "per_event_seconds" => PER_EVENT_SECONDS,
         "overhead_pct" => overhead_pct,
@@ -189,7 +189,7 @@ pub fn run() -> ExperimentResult {
         "rejoins" => traced.rejoins,
         "timeline_rows" => timeline_rows,
         "observability_techniques" => registry.by_category(Category::Observability).len(),
-    }));
+    });
 
     let ok = parity && overhead_pct < 5.0 && clock_mirrors && traced.crashes > 0;
     ExperimentResult {

@@ -27,6 +27,7 @@ pub mod e20_carbon;
 pub mod e21_tradeoff_navigator;
 pub mod e22_fault_tolerance;
 pub mod e23_observability;
+pub mod e24_profiling;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -1,11 +1,15 @@
 //! Result tables: pretty terminal rendering + JSON persistence.
+//!
+//! Persistence is hand-rolled on top of `dl-obs`'s byte-stable field
+//! encoding (sorted keys, shortest round-trip floats) rather than any
+//! serde machinery, so a seeded experiment writes the identical JSON file
+//! on every run and the perf baselines can diff runs without noise.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// A rendered experiment table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Column headers.
     pub headers: Vec<String>,
@@ -67,10 +71,10 @@ impl Table {
 }
 
 /// A complete experiment result: identity, headline, table, and the
-/// structured records E21 consumes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// structured records E21 and the perf baselines consume.
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
-    /// Experiment id (`e1`..`e22`).
+    /// Experiment id (`e1`..`e24`).
     pub id: String,
     /// One-line title (the tutorial claim being regenerated).
     pub title: String,
@@ -78,8 +82,9 @@ pub struct ExperimentResult {
     pub table: Table,
     /// One-sentence verdict comparing measurement to the claim.
     pub verdict: String,
-    /// Machine-readable measurements for downstream use (E21).
-    pub records: Vec<serde_json::Value>,
+    /// Machine-readable measurements under the shared event-field schema
+    /// (one flat record per measurement point).
+    pub records: Vec<dl_obs::Fields>,
 }
 
 impl ExperimentResult {
@@ -103,35 +108,86 @@ impl ExperimentResult {
         dir
     }
 
+    /// The full result as byte-stable JSON: fixed top-level key order,
+    /// records encoded with sorted keys via `dl_obs::export`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_str(&self.id));
+        out.push_str("  \"records\": [");
+        for (i, record) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&dl_obs::export::fields_to_json(record));
+        }
+        if !self.records.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"table\": {\"headers\": ");
+        write_str_array(&mut out, &self.table.headers);
+        out.push_str(", \"rows\": [");
+        for (i, row) in self.table.rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_str_array(&mut out, row);
+        }
+        out.push_str("]},\n");
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"verdict\": {}", json_str(&self.verdict));
+        out.push_str("}\n");
+        out
+    }
+
     /// Writes the JSON record to `target/experiments/<id>.json`.
     pub fn save(&self) -> std::io::Result<PathBuf> {
         let path = Self::output_dir().join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
 }
 
-/// Converts a [`dl_obs::Fields`] list (the shared event-field schema that
-/// every report's `ToFields` impl produces) into a JSON record object.
-///
-/// This is the bridge between span annotations and the machine-readable
-/// records under `target/experiments/`: experiments call
-/// `fields_json(&report.to_fields())` instead of hand-rolling the same
-/// key-by-key `json!` literal a second time.
-pub fn fields_json(fields: &dl_obs::Fields) -> serde_json::Value {
-    use dl_obs::FieldValue;
-    let mut map = serde_json::Map::new();
-    for (k, v) in fields {
-        let jv = match v {
-            FieldValue::U64(n) => serde_json::Value::from(*n),
-            FieldValue::I64(n) => serde_json::Value::from(*n),
-            FieldValue::F64(x) => serde_json::Value::from(*x),
-            FieldValue::Bool(b) => serde_json::Value::from(*b),
-            FieldValue::Str(s) => serde_json::Value::from(s.clone()),
-        };
-        map.insert(k.clone(), jv);
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
     }
-    serde_json::Value::Object(map)
+    out.push('"');
+    out
+}
+
+fn write_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_str(item));
+    }
+    out.push(']');
+}
+
+/// Looks up a numeric field in a record (integers widen, bools count as
+/// 0/1) — the replacement for indexing into a dynamic JSON value.
+pub fn field_f64(fields: &dl_obs::Fields, key: &str) -> Option<f64> {
+    use dl_obs::FieldValue;
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        FieldValue::Bool(b) => Some(f64::from(u8::from(*b))),
+        other => other.as_f64(),
+    })
 }
 
 /// Formats a float with 3 significant decimals.
@@ -194,18 +250,41 @@ mod tests {
 
     #[test]
     fn result_saves_json() {
+        use dl_obs::fields;
+        let mut table = Table::new(&["x"]);
+        table.row(&["quoted \"cell\"".into()]);
         let r = ExperimentResult {
             id: "etest".into(),
             title: "test".into(),
-            table: Table::new(&["x"]),
+            table,
             verdict: "ok".into(),
-            records: vec![],
+            records: vec![fields! { "accuracy" => 0.875, "bits" => 8usize }],
         };
         let path = r.save().unwrap();
         assert!(path.exists());
-        let back: ExperimentResult =
-            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(back.id, "etest");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, r.to_json(), "save writes exactly to_json()");
+        assert!(text.contains("\"id\": \"etest\""));
+        assert!(text.contains(r#"{"accuracy":0.875,"bits":8}"#));
+        assert!(text.contains(r#"quoted \"cell\""#));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn to_json_is_byte_stable_and_field_lookup_widens() {
+        use dl_obs::fields;
+        let record = fields! { "n" => 3usize, "ok" => true, "name" => "x" };
+        let r = ExperimentResult {
+            id: "e0".into(),
+            title: "t".into(),
+            table: Table::new(&["a"]),
+            verdict: "v".into(),
+            records: vec![record.clone()],
+        };
+        assert_eq!(r.to_json(), r.clone().to_json());
+        assert_eq!(field_f64(&record, "n"), Some(3.0));
+        assert_eq!(field_f64(&record, "ok"), Some(1.0));
+        assert_eq!(field_f64(&record, "name"), None);
+        assert_eq!(field_f64(&record, "missing"), None);
     }
 }

@@ -9,6 +9,7 @@ use dl_nn::CostProfile;
 
 /// An offloading decision and its simulated consequences.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a plan is pure data; dropping it discards the decision"]
 pub struct OffloadPlan {
     /// Fraction of activation bytes offloaded, in `[0, 1]`.
     pub fraction: f64,
@@ -24,6 +25,7 @@ pub struct OffloadPlan {
 
 impl OffloadPlan {
     /// Relative slowdown: `(base + extra) / base`.
+    #[must_use]
     pub fn slowdown(&self) -> f64 {
         (self.base_seconds_per_step + self.extra_seconds_per_step) / self.base_seconds_per_step
     }
@@ -70,6 +72,7 @@ pub fn offload_plan(
 /// Sweeps offload fractions and returns the smallest fraction whose device
 /// memory fits `device_budget`, or `None` when even full offloading does
 /// not fit (parameters and workspace are outside this model).
+#[must_use]
 pub fn min_fraction_for_budget(
     profile: &CostProfile,
     device_budget: u64,
@@ -162,6 +165,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "fraction must lie")]
     fn rejects_out_of_range_fraction() {
-        offload_plan(&profile(), 1.5, 1e12, 10e9);
+        let _ = offload_plan(&profile(), 1.5, 1e12, 10e9);
     }
 }

@@ -21,6 +21,7 @@ use dl_nn::LayerCost;
 
 /// A concrete checkpointing schedule and its costs.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a schedule is pure data; dropping it discards the plan"]
 pub struct RematSchedule {
     /// Indices of layers whose activations stay resident (sorted).
     pub checkpoints: Vec<usize>,
@@ -107,7 +108,7 @@ pub fn sqrt_schedule(costs: &[LayerCost]) -> RematSchedule {
 /// single-replay setting).
 ///
 /// Returns `None` when even the most aggressive schedule (no checkpoints)
-/// exceeds the budget.
+/// exceeds the budget — the caller must distinguish that from success.
 ///
 /// ```
 /// use dl_memsched::{optimal_schedule, store_all};
@@ -121,6 +122,7 @@ pub fn sqrt_schedule(costs: &[LayerCost]) -> RematSchedule {
 /// assert!(half.peak_bytes <= full / 2);
 /// assert!(half.recompute_flops > 0); // memory bought with recompute
 /// ```
+#[must_use]
 pub fn optimal_schedule(costs: &[LayerCost], budget: u64) -> Option<RematSchedule> {
     let n = costs.len();
     if n == 0 {
@@ -291,7 +293,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted and unique")]
     fn evaluate_rejects_unsorted() {
-        evaluate(&uniform_chain(4, 1, 1), &[2, 1]);
+        let _ = evaluate(&uniform_chain(4, 1, 1), &[2, 1]);
     }
 
     #[test]

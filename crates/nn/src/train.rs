@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use dl_obs::{fields, FieldValue, NullRecorder, Recorder, ToFields};
+use dl_tensor::acct::{self, OpCost};
 use dl_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -214,6 +215,10 @@ impl Trainer {
         let start_epoch = self.history.len();
         let mut added = Vec::with_capacity(self.config.epochs);
         let batch_seconds = step_flops as f64 / NOMINAL_FLOPS_PER_SEC;
+        // Measured cost accounting only runs when someone is listening:
+        // with the default NullRecorder no acct scope ever opens, so the
+        // untraced path stays bit-identical and pays a single flag check.
+        let measuring = self.recorder.enabled();
         for e in 0..self.config.epochs {
             let epoch = start_epoch + e;
             let scale = self.config.schedule.scale(epoch);
@@ -223,6 +228,7 @@ impl Trainer {
             let order = init::permutation(data.len(), &mut self.rng);
             let mut loss_sum = 0.0;
             let mut batches = 0;
+            let mut epoch_cost = OpCost::default();
             for chunk in order.chunks(self.config.batch_size) {
                 let batch_span = self
                     .recorder
@@ -235,6 +241,9 @@ impl Trainer {
                         one_hot(&labels, data.classes)
                     }
                 };
+                if measuring {
+                    acct::begin();
+                }
                 net.zero_grads();
                 let logits = net.forward(&xb, true);
                 let (loss, grad) = self.config.loss.evaluate(&logits, &targets);
@@ -242,6 +251,11 @@ impl Trainer {
                 let mut pg = net.params_and_grads();
                 apply_grad_transforms(&mut pg, self.config.weight_decay, self.config.clip_norm);
                 self.optimizer.step(&mut pg, scale);
+                if measuring {
+                    // The whole update — forward, loss, backward, transforms,
+                    // optimizer — counts as one measured training step.
+                    epoch_cost = epoch_cost.merge(acct::end());
+                }
                 loss_sum += loss;
                 batches += 1;
                 self.flops += step_flops;
@@ -250,6 +264,14 @@ impl Trainer {
                 self.recorder.counter(0, "train.samples", chunk.len() as u64);
                 self.recorder
                     .span_end(batch_span, fields! { "loss" => loss, "flops" => step_flops });
+            }
+            if measuring {
+                self.recorder
+                    .counter(0, "train.measured_flops", epoch_cost.flops);
+                self.recorder
+                    .counter(0, "train.measured_bytes_read", epoch_cost.bytes_read);
+                self.recorder
+                    .counter(0, "train.measured_bytes_written", epoch_cost.bytes_written);
             }
             let preds = net.predict(&data.x);
             let record = EpochRecord {
@@ -535,6 +557,39 @@ mod tests {
             .unwrap();
         assert!(end.fields.iter().any(|(k, _)| k == "train_accuracy"));
         assert!(rec.clock().now() > 0.0, "batches advance the virtual clock");
+    }
+
+    #[test]
+    fn traced_training_reports_measured_kernel_costs() {
+        use dl_obs::TimelineRecorder;
+        let data = blobs(40, 22);
+        let mut r = rng(23);
+        let mut net = Network::mlp(&[2, 8, 2], &mut r);
+        let mut trainer = Trainer::new(
+            TrainConfig {
+                epochs: 2,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
+            Optimizer::sgd(0.1),
+        );
+        let rec = Arc::new(TimelineRecorder::new());
+        trainer.set_recorder(rec.clone());
+        trainer.fit(&mut net, &data);
+        let counters = rec.counters();
+        let measured = counters["train.measured_flops"];
+        assert!(measured > 0, "measured FLOPs must be recorded");
+        assert!(counters["train.measured_bytes_read"] > 0);
+        assert!(counters["train.measured_bytes_written"] > 0);
+        // The static model only counts layer forward/backward; the measured
+        // number adds loss and optimizer work and subtracts sparse-matmul
+        // skips, so same order of magnitude, not equality.
+        let modeled = trainer.flops;
+        let ratio = measured as f64 / modeled as f64;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "measured/modeled ratio {ratio} implausible (measured {measured}, modeled {modeled})"
+        );
     }
 
     #[test]

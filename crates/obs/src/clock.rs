@@ -30,11 +30,13 @@ impl VirtualClock {
     }
 
     /// Current time in seconds.
+    #[must_use]
     pub fn now(&self) -> f64 {
         f64::from_bits(self.seconds_bits.load(Ordering::Relaxed))
     }
 
     /// Current time rounded to whole microseconds (the `trace_event` unit).
+    #[must_use]
     pub fn now_micros(&self) -> u64 {
         (self.now() * 1e6).round() as u64
     }

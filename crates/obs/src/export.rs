@@ -11,6 +11,17 @@ use std::io::{self, Write};
 use crate::field::{write_json_string, write_json_value, FieldValue, Fields};
 use crate::recorder::{Event, EventKind};
 
+/// Renders `fields` as a JSON object string with keys in sorted order —
+/// the same byte-stable encoding the trace exporters use, reusable by
+/// anything persisting [`Fields`] (experiment records, profile summaries,
+/// the perf baselines).
+#[must_use]
+pub fn fields_to_json(fields: &Fields) -> String {
+    let mut out = String::new();
+    write_fields_object(&mut out, fields);
+    out
+}
+
 /// Appends `fields` as a JSON object with keys in sorted order.
 fn write_fields_object(out: &mut String, fields: &Fields) {
     let mut sorted: Vec<&(String, FieldValue)> = fields.iter().collect();
@@ -73,6 +84,7 @@ pub fn write_chrome_trace(events: &[Event], sink: &mut dyn Write) -> io::Result<
 
 /// The Chrome trace as an in-memory string (convenience over
 /// [`write_chrome_trace`]).
+#[must_use]
 pub fn chrome_trace_to_string(events: &[Event]) -> String {
     let mut buf = Vec::new();
     write_chrome_trace(events, &mut buf).expect("in-memory sink cannot fail");
@@ -103,6 +115,7 @@ pub fn write_json_lines(events: &[Event], sink: &mut dyn Write) -> io::Result<()
 }
 
 /// The JSON-lines dump as an in-memory string.
+#[must_use]
 pub fn json_lines_to_string(events: &[Event]) -> String {
     let mut buf = Vec::new();
     write_json_lines(events, &mut buf).expect("in-memory sink cannot fail");

@@ -24,6 +24,7 @@ pub enum FieldValue {
 
 impl FieldValue {
     /// The value as a `u64`, when it is one.
+    #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
             FieldValue::U64(n) => Some(n),
@@ -33,6 +34,7 @@ impl FieldValue {
 
     /// The value as an `f64`: floats directly, integers losslessly
     /// widened (the usual "read a metric off an event" accessor).
+    #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
             FieldValue::F64(x) => Some(x),
@@ -43,6 +45,7 @@ impl FieldValue {
     }
 
     /// The value as a string slice, when it is one.
+    #[must_use]
     pub fn as_str(&self) -> Option<&str> {
         match self {
             FieldValue::Str(s) => Some(s),

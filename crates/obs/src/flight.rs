@@ -51,16 +51,19 @@ impl FlightRecorder {
     }
 
     /// The configured retention window, in events.
+    #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Events overwritten so far (0 until the ring first wraps).
+    #[must_use]
     pub fn dropped(&self) -> u64 {
         self.ring.lock().expect("ring lock").dropped
     }
 
     /// The retained events, oldest first.
+    #[must_use]
     pub fn dump(&self) -> Vec<Event> {
         let ring = self.ring.lock().expect("ring lock");
         let mut out = Vec::with_capacity(ring.buf.len());
@@ -71,11 +74,13 @@ impl FlightRecorder {
 
     /// Snapshot of all counters (aggregated over the *whole* run, not
     /// just the retained window).
+    #[must_use]
     pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
         self.metrics.counters()
     }
 
     /// Snapshot of the named histogram, if observed.
+    #[must_use]
     pub fn histogram(&self, name: &str) -> Option<crate::recorder::Histogram> {
         self.metrics.histogram(name)
     }
@@ -167,5 +172,23 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_latest_event() {
+        // Degenerate ring: every record after the first overwrites the
+        // single slot, head must keep cycling through index 0 without
+        // going out of bounds, and the dump is always that one event.
+        let rec = FlightRecorder::new(1);
+        assert!(rec.dump().is_empty(), "empty before any event");
+        for i in 0..5 {
+            rec.clock().advance(1.0);
+            rec.instant(0, &format!("e{i}"), fields!());
+            let dump = rec.dump();
+            assert_eq!(names(&dump), [format!("e{i}")]);
+            assert_eq!(dump[0].ts_micros, (i + 1) * 1_000_000);
+        }
+        assert_eq!(rec.dropped(), 4);
+        assert_eq!(rec.capacity(), 1);
     }
 }

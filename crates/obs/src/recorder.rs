@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use crate::clock::VirtualClock;
-use crate::field::Fields;
+use crate::field::{Fields, ToFields};
 
 /// What an [`Event`] marks on the timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,16 @@ pub struct SpanId {
 pub trait Recorder: Send + Sync {
     /// The clock this recorder timestamps events against.
     fn clock(&self) -> &VirtualClock;
+
+    /// True when this recorder actually retains or aggregates anything.
+    ///
+    /// Instrumented drivers use this to skip *collection* work whose only
+    /// consumer is the recorder (e.g. opening a tensor cost-accounting
+    /// scope): [`NullRecorder`] returns `false`, so untraced runs pay
+    /// nothing and stay bit-identical.
+    fn enabled(&self) -> bool {
+        true
+    }
 
     /// Appends one event to the timeline.
     fn record(&self, event: Event);
@@ -177,6 +187,7 @@ impl Default for Histogram {
 
 impl Histogram {
     /// The bucket index `value` falls into.
+    #[must_use]
     pub fn bucket_index(value: f64) -> usize {
         if !value.is_finite() || value <= 0.0 {
             return 0;
@@ -197,6 +208,7 @@ impl Histogram {
     }
 
     /// Mean of the observed values (0 when empty).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -207,6 +219,7 @@ impl Histogram {
 
     /// Upper edge of the bucket containing the `q`-quantile observation
     /// (`q` in `[0, 1]`), a conservative log-scale estimate.
+    #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -223,6 +236,47 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Median (upper bucket edge).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (upper bucket edge).
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (upper bucket edge).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Summary view of a histogram: count, sum, min/max/mean, and the
+/// `p50/p90/p99` percentile estimates — what reports and the profiler
+/// attach to events instead of 64 raw buckets.
+impl ToFields for Histogram {
+    fn to_fields(&self) -> Fields {
+        let (min, max) = if self.count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min, self.max)
+        };
+        crate::fields! {
+            "count" => self.count,
+            "sum" => self.sum,
+            "min" => min,
+            "max" => max,
+            "mean" => self.mean(),
+            "p50" => self.p50(),
+            "p90" => self.p90(),
+            "p99" => self.p99(),
+        }
     }
 }
 
@@ -279,6 +333,10 @@ impl Recorder for NullRecorder {
         &self.clock
     }
 
+    fn enabled(&self) -> bool {
+        false
+    }
+
     fn record(&self, _event: Event) {}
 
     fn add_counter(&self, _name: &str, _delta: u64) -> u64 {
@@ -319,26 +377,31 @@ impl TimelineRecorder {
     }
 
     /// A copy of every recorded event, in record order.
+    #[must_use]
     pub fn events(&self) -> Vec<Event> {
         self.events.lock().expect("event lock").clone()
     }
 
     /// Number of recorded events.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.events.lock().expect("event lock").len()
     }
 
     /// True when nothing has been recorded.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Snapshot of all counters.
+    #[must_use]
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.metrics.counters()
     }
 
     /// Snapshot of the named histogram, if observed.
+    #[must_use]
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.metrics.histogram(name)
     }
@@ -415,6 +478,84 @@ mod tests {
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 4.0);
         assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn out_of_order_span_closes_keep_timestamps_monotonic() {
+        // Spans closed LIFO-violating order (outer before inner, or
+        // interleaved across tracks) must still produce a monotone
+        // timeline: every timestamp comes from the shared VirtualClock,
+        // which never runs backwards even when a driver calls `set` with
+        // a stale local accumulator between the closes.
+        let rec = TimelineRecorder::new();
+        let outer = rec.span_start(0, "outer", fields!());
+        rec.clock().advance(1.0);
+        let inner = rec.span_start(1, "inner", fields!());
+        rec.clock().advance(1.0);
+        rec.span_end(outer, fields!()); // closes before inner: not LIFO
+        rec.clock().set(0.5); // stale absolute time: must not rewind
+        rec.span_end(inner, fields!());
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert!(
+            events.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros),
+            "timeline went backwards: {:?}",
+            events.iter().map(|e| e.ts_micros).collect::<Vec<_>>()
+        );
+        // End edges keep the identity of the span they close, not the
+        // most recently opened one.
+        assert_eq!(events[2].name, "outer");
+        assert_eq!(events[2].track, 0);
+        assert_eq!(events[3].name, "inner");
+        assert_eq!(events[3].track, 1);
+        assert_eq!(events[3].ts_micros, 2_000_000);
+    }
+
+    #[test]
+    fn histogram_percentile_summary_exports_through_to_fields() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(f64::from(i));
+        }
+        // Log-scale buckets give upper-edge estimates: each percentile is
+        // an upper bound within one power of two of the true value.
+        for (q, truth) in [(0.50, 50.0), (0.90, 90.0), (0.99, 99.0)] {
+            let est = h.quantile(q);
+            assert!(
+                est >= truth && est <= truth * 2.0,
+                "q{q}: estimate {est} not in [{truth}, {}]",
+                truth * 2.0
+            );
+        }
+        let fields = h.to_fields();
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_f64())
+                .unwrap_or_else(|| panic!("missing field {key}"))
+        };
+        assert_eq!(get("count"), 100.0);
+        assert_eq!(get("min"), 1.0);
+        assert_eq!(get("max"), 100.0);
+        assert!(get("p50") <= get("p90") && get("p90") <= get("p99"));
+        assert_eq!(get("p50"), h.p50());
+        assert_eq!(get("p99"), h.p99());
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zeros() {
+        let h = Histogram::default();
+        for (k, v) in h.to_fields() {
+            assert_eq!(v.as_f64(), Some(0.0), "field {k} should be 0 when empty");
+        }
+    }
+
+    #[test]
+    fn null_recorder_reports_disabled_others_enabled() {
+        assert!(!NullRecorder::new().enabled());
+        assert!(TimelineRecorder::new().enabled());
+        assert!(crate::FlightRecorder::new(4).enabled());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   broadcasting, reductions, matrix multiplication and 2-D convolution
 //!   helpers (`im2col`),
 //! * [`init`] — seeded random initializers (uniform, normal, Xavier/Glorot,
-//!   He) so every experiment in the workspace is reproducible.
+//!   He) so every experiment in the workspace is reproducible,
+//! * [`acct`] — thread-local op-cost accounting (FLOPs, bytes moved) charged
+//!   by every kernel above, free when no scope is open.
 //!
 //! Design notes (see `DESIGN.md` at the workspace root):
 //!
@@ -26,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod acct;
 pub mod init;
 mod shape;
 mod tensor;

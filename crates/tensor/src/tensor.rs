@@ -1,5 +1,6 @@
 //! The dense `f32` tensor at the heart of the workspace.
 
+use crate::acct;
 use crate::shape::Shape;
 use std::fmt;
 use std::ops::{Add, Div, Index, IndexMut, Mul, Neg, Sub};
@@ -224,6 +225,7 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
+        acct::charge(0, 4 * (r * c) as u64, 4 * (r * c) as u64);
         Tensor {
             shape: Shape::from([c, r]),
             data: out,
@@ -253,6 +255,8 @@ impl Tensor {
             let start = i * cols;
             data.extend_from_slice(&self.data[start..start + cols]);
         }
+        let moved = 4 * (indices.len() * cols) as u64;
+        acct::charge(0, moved, moved);
         Tensor {
             shape: Shape::from([indices.len(), cols]),
             data,
@@ -271,6 +275,8 @@ impl Tensor {
             assert_eq!(r.len(), cols, "stack_rows requires equal-length rows");
             data.extend_from_slice(&r.data);
         }
+        let moved = 4 * (rows.len() * cols) as u64;
+        acct::charge(0, moved, moved);
         Tensor {
             shape: Shape::from([rows.len(), cols]),
             data,
@@ -282,7 +288,13 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Applies `f` to every element, producing a new tensor.
+    ///
+    /// Cost accounting charges one FLOP per element — the workspace-wide
+    /// convention for opaque elementwise closures (shared with the static
+    /// model in `dl-nn::cost`).
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        let n = self.data.len() as u64;
+        acct::charge(n, 4 * n, 4 * n);
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&x| f(x)).collect(),
@@ -291,6 +303,8 @@ impl Tensor {
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        let n = self.data.len() as u64;
+        acct::charge(n, 4 * n, 4 * n);
         for x in &mut self.data {
             *x = f(*x);
         }
@@ -306,6 +320,8 @@ impl Tensor {
             "zip requires identical shapes: {} vs {}",
             self.shape, other.shape
         );
+        let n = self.data.len() as u64;
+        acct::charge(n, 8 * n, 4 * n);
         Tensor {
             shape: self.shape.clone(),
             data: self
@@ -349,6 +365,11 @@ impl Tensor {
             }
             *slot = f(self.data[a_off], other.data[b_off]);
         }
+        acct::charge(
+            out.len() as u64,
+            4 * (self.data.len() + other.data.len()) as u64,
+            4 * out.len() as u64,
+        );
         Tensor {
             shape: out_shape,
             data: out,
@@ -361,6 +382,8 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
+        let n = self.data.len() as u64;
+        acct::charge(n, 4 * n, 0);
         self.data.iter().sum()
     }
 
@@ -400,6 +423,8 @@ impl Tensor {
 
     /// Sum of squares of all elements.
     pub fn sum_squares(&self) -> f32 {
+        let n = self.data.len() as u64;
+        acct::charge(2 * n, 4 * n, 0);
         self.data.iter().map(|&x| x * x).sum()
     }
 
@@ -429,6 +454,11 @@ impl Tensor {
                 }
             }
         }
+        acct::charge(
+            self.data.len() as u64,
+            4 * self.data.len() as u64,
+            4 * out.len() as u64,
+        );
         let mut new_dims = dims.to_vec();
         new_dims.remove(axis);
         Tensor {
@@ -490,6 +520,7 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = vec![0.0f32; m * n];
+        let mut nnz = 0u64;
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * n..(i + 1) * n];
@@ -497,12 +528,20 @@ impl Tensor {
                 if a == 0.0 {
                     continue; // pays off for pruned (sparse) weight matrices
                 }
+                nnz += 1;
                 let b_row = &other.data[kk * n..(kk + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
+        // Effective FLOPs: the zero-skip above means a sparse left operand
+        // really does less work, and the accounting reflects that.
+        acct::charge(
+            2 * nnz * n as u64,
+            4 * (m * k + k * n) as u64,
+            4 * (m * n) as u64,
+        );
         Tensor {
             shape: Shape::from([m, n]),
             data: out,
@@ -517,6 +556,8 @@ impl Tensor {
         assert_eq!(self.rank(), 1, "dot requires vectors");
         assert_eq!(other.rank(), 1, "dot requires vectors");
         assert_eq!(self.len(), other.len(), "dot requires equal lengths");
+        let n = self.data.len() as u64;
+        acct::charge(2 * n, 8 * n, 0);
         self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
     }
 
@@ -564,6 +605,7 @@ impl Tensor {
                 }
             }
         }
+        acct::charge(0, 4 * (c * h * w) as u64, 4 * (rows * cols) as u64);
         Tensor {
             shape: Shape::from([rows, cols]),
             data: out,
@@ -616,6 +658,11 @@ impl Tensor {
                 }
             }
         }
+        acct::charge(
+            self.data.len() as u64,
+            4 * self.data.len() as u64,
+            4 * out.len() as u64,
+        );
         Tensor {
             shape: Shape::from([channels, height, width]),
             data: out,
