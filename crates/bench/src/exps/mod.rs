@@ -28,6 +28,7 @@ pub mod e21_tradeoff_navigator;
 pub mod e22_fault_tolerance;
 pub mod e23_observability;
 pub mod e24_profiling;
+pub mod e25_serving;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

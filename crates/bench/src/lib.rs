@@ -1,7 +1,7 @@
 //! # dl-bench
 //!
 //! The experiment harness: one module per experiment in `DESIGN.md`'s
-//! index (E1-E24), each regenerating one quantitative claim of the
+//! index (E1-E25), each regenerating one quantitative claim of the
 //! tutorial. The `exp` binary dispatches on experiment id and prints the
 //! result rows; every run also writes a JSON record under
 //! `target/experiments/` which `EXPERIMENTS.md` references and E21's
@@ -23,7 +23,7 @@ pub use table::{ExperimentResult, Table};
 
 use dl_obs::{fields, NullRecorder, Recorder};
 
-/// Runs one experiment by id (`"e1"`..`"e24"`). Returns its result.
+/// Runs one experiment by id (`"e1"`..`"e25"`). Returns its result.
 ///
 /// # Errors
 /// Returns an error string for unknown ids.
@@ -75,19 +75,20 @@ fn dispatch(id: &str, rec: &dyn Recorder) -> Result<ExperimentResult, String> {
         "e22" => Ok(exps::e22_fault_tolerance::run_with(rec)),
         "e23" => Ok(exps::e23_observability::run()),
         "e24" => Ok(exps::e24_profiling::run()),
+        "e25" => Ok(exps::e25_serving::run()),
         "a1" => Ok(exps::a01_error_feedback::run()),
         "a2" => Ok(exps::a02_rmi_leaves::run()),
         "a3" => Ok(exps::a03_p3_slices::run()),
         "a4" => Ok(exps::a04_snapshot_cycles::run()),
         other => Err(format!(
-            "unknown experiment {other:?}; expected e1..e24, a1..a4, or 'all'"
+            "unknown experiment {other:?}; expected e1..e25, a1..a4, or 'all'"
         )),
     }
 }
 
-/// All experiment ids in order: claims E1-E24, then ablations A1-A4.
+/// All experiment ids in order: claims E1-E25, then ablations A1-A4.
 pub fn all_ids() -> Vec<String> {
-    let mut ids: Vec<String> = (1..=24).map(|i| format!("e{i}")).collect();
+    let mut ids: Vec<String> = (1..=25).map(|i| format!("e{i}")).collect();
     ids.extend((1..=4).map(|i| format!("a{i}")));
     ids
 }
@@ -119,6 +120,7 @@ pub fn describe(id: &str) -> &'static str {
         "e22" => "fault tolerance: checkpoint interval vs completion time under crashes",
         "e23" => "observability: fault-recovery timeline and tracing overhead",
         "e24" => "profiling: critical path, lost-time attribution, measured costs",
+        "e25" => "serving: dynamic batching, variant selection, load shedding",
         "a1" => "ablation: error feedback in gradient compression",
         "a2" => "ablation: RMI leaf budget",
         "a3" => "ablation: P3 slice granularity",

@@ -74,7 +74,7 @@ impl Table {
 /// structured records E21 and the perf baselines consume.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
-    /// Experiment id (`e1`..`e24`).
+    /// Experiment id (`e1`..`e25`).
     pub id: String,
     /// One-line title (the tutorial claim being regenerated).
     pub title: String,

@@ -602,6 +602,30 @@ mod tests {
                 prop_assert!((a - b).abs() <= bound);
             }
         }
+
+        #[test]
+        fn int8_roundtrip_bounded_by_step_for_arbitrary_ranges(
+            values in proptest::collection::vec(-1e30f32..1e30f32, 1..200),
+        ) {
+            // The int8 path the serving engine ships: for *any* finite
+            // weight vector — tiny ranges, huge magnitudes, constants —
+            // quantize→dequantize lands within half a step of the input
+            // (plus float-rounding slack proportional to the step).
+            let n = values.len();
+            let t = Tensor::from_vec(values, [n]).unwrap();
+            let q = QuantizedTensor::quantize(&t, 8);
+            let back = q.dequantize();
+            let bound = q.max_error_bound() * (1.0 + 1e-4) + 1e-6;
+            for (a, b) in t.data().iter().zip(back.data()) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "|{} - {}| = {} > step/2 = {}",
+                    a, b, (a - b).abs(), bound
+                );
+            }
+            // Packed int8 storage is one byte per weight plus the header.
+            prop_assert_eq!(q.storage_bytes(), n + 8);
+        }
     }
 
     #[test]

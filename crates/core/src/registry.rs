@@ -78,6 +78,9 @@ pub enum Category {
     /// Observability: tracing, metrics, flight recording (techniques that
     /// spend resources to make every other tradeoff measurable).
     Observability,
+    /// Inference serving: batching, variant selection, admission control
+    /// (throughput vs. tail latency vs. accuracy at deploy time).
+    Serving,
 }
 
 /// A named, categorized measurement.

@@ -244,6 +244,36 @@ impl Network {
         softmax(&self.forward(x, false))
     }
 
+    /// Eval-mode class predictions computed `max_batch` rows at a time —
+    /// the inference-serving forward path. Each chunk runs one matmul per
+    /// dense layer over a `[B, d]` input, so weights are read once per
+    /// chunk instead of once per sample, while peak activation memory
+    /// stays bounded by `max_batch` rows. Every eval-mode kernel is
+    /// row-independent with a fixed per-element accumulation order
+    /// (matmul sums over `k` in index order; BatchNorm applies running
+    /// statistics; Dropout is the identity), so the result is bitwise
+    /// identical to [`Network::predict`] at any chunk size.
+    ///
+    /// # Panics
+    /// Panics when `max_batch` is zero or `x` is not a matrix.
+    pub fn predict_batched(&mut self, x: &Tensor, max_batch: usize) -> Vec<usize> {
+        assert!(max_batch > 0, "max_batch must be positive");
+        let rows = x.dims()[0];
+        if rows <= max_batch {
+            // Single chunk: forward the matrix as-is, no row copies.
+            return self.predict(x);
+        }
+        let mut out = Vec::with_capacity(rows);
+        let mut lo = 0usize;
+        while lo < rows {
+            let hi = usize::min(lo + max_batch, rows);
+            let idx: Vec<usize> = (lo..hi).collect();
+            out.extend(self.predict(&x.select_rows(&idx)));
+            lo = hi;
+        }
+        out
+    }
+
     /// Static resource profile at the given batch size.
     pub fn cost_profile(&self, batch: usize) -> CostProfile {
         let mut dim = self.input_dim;
@@ -385,6 +415,49 @@ mod tests {
         assert_eq!(trace[0].dims(), &[3, 4]);
         assert_eq!(trace[1].dims(), &[3, 8]);
         assert_eq!(trace[3].dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn batched_predict_bitwise_equals_per_sample_forward() {
+        use crate::layers::{BatchNorm1d, Dense, Dropout, Tanh};
+        let mut r = rng(7);
+        // Every eval-mode layer kind that can sit in an MLP, including the
+        // two whose train-mode behaviour depends on the batch (BatchNorm,
+        // Dropout) — eval mode must be row-independent.
+        let mut net = Network::new(6)
+            .push(Layer::Dense(Dense::new(6, 11, &mut r)))
+            .push(Layer::BatchNorm1d(BatchNorm1d::new(11)))
+            .push(Layer::ReLU(crate::layers::ReLU::new()))
+            .push(Layer::Dropout(Dropout::new(0.3, 9)))
+            .push(Layer::Dense(Dense::new(11, 4, &mut r)))
+            .push(Layer::Tanh(Tanh::new()));
+        // Train-mode passes populate BatchNorm's running statistics so the
+        // eval path exercises a non-trivial normalization.
+        let warm = init::uniform([16, 6], -2.0, 2.0, &mut r);
+        for _ in 0..3 {
+            let _ = net.forward(&warm, true);
+        }
+        let x = init::uniform([17, 6], -2.0, 2.0, &mut r);
+        // Per-sample reference loop: one [1, d] forward per row.
+        let batch_logits = net.forward(&x, false);
+        for i in 0..17 {
+            let single = net.forward(&x.select_rows(&[i]), false);
+            assert_eq!(
+                single.data(),
+                &batch_logits.data()[i * 4..(i + 1) * 4],
+                "row {i}: batched forward drifted from the per-sample loop"
+            );
+        }
+        // The chunked predict path agrees bitwise at every chunk size,
+        // including ones that do not divide the row count.
+        let reference = net.predict(&x);
+        for max_batch in [1usize, 2, 5, 16, 17, 64] {
+            assert_eq!(
+                net.predict_batched(&x, max_batch),
+                reference,
+                "chunk size {max_batch} changed predictions"
+            );
+        }
     }
 
     #[test]

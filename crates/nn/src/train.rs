@@ -293,9 +293,19 @@ impl Trainer {
         added
     }
 
+    /// Rows per evaluation chunk: large enough that every dataset in the
+    /// workspace evaluates in a single zero-copy forward today, while
+    /// bounding peak activation memory if a bigger corpus arrives.
+    pub const EVAL_BATCH: usize = 2048;
+
     /// Evaluates accuracy of `net` on a dataset without training.
+    ///
+    /// Runs through the chunked eval-mode forward path so peak
+    /// activation memory is bounded by [`Trainer::EVAL_BATCH`] rows on
+    /// arbitrarily large evaluation sets; chunking is bitwise invisible
+    /// (see `predict_batched`).
     pub fn evaluate(net: &mut Network, data: &Dataset) -> f64 {
-        accuracy(&net.predict(&data.x), &data.y)
+        accuracy(&net.predict_batched(&data.x, Self::EVAL_BATCH), &data.y)
     }
 }
 

@@ -255,6 +255,14 @@ impl Histogram {
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
+
+    /// 99.9th percentile (upper bucket edge) — the deep-tail gate the
+    /// serving SLO controller reads. Not part of [`ToFields`] so the
+    /// committed baseline record schema stays unchanged.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 /// Summary view of a histogram: count, sum, min/max/mean, and the
@@ -541,6 +549,52 @@ mod tests {
         assert!(get("p50") <= get("p90") && get("p90") <= get("p99"));
         assert_eq!(get("p50"), h.p50());
         assert_eq!(get("p99"), h.p99());
+    }
+
+    #[test]
+    fn tail_percentiles_under_heavy_skew() {
+        // 10_000 observations, ~1ms fast path with a 0.5% tail at ~4s:
+        // the body percentiles must stay in the fast band while p999
+        // lands in the tail band. This is exactly the shape the serving
+        // SLO gate reads (a mostly-fast service with rare stalls).
+        let mut h = Histogram::default();
+        for i in 0..10_000u32 {
+            if i % 200 == 199 {
+                h.observe(4.0); // rare stall
+            } else {
+                h.observe(1e-3); // fast path
+            }
+        }
+        assert_eq!(h.count, 10_000);
+        // Upper-edge estimates: within one power of two of the truth.
+        assert!(h.p50() >= 1e-3 && h.p50() <= 2e-3, "p50 = {}", h.p50());
+        assert!(h.p99() >= 1e-3 && h.p99() <= 2e-3, "p99 = {}", h.p99());
+        assert!(h.p999() >= 4.0 && h.p999() <= 8.0, "p999 = {}", h.p999());
+        assert!(h.p99() < h.p999(), "tail must separate from the body");
+        assert_eq!(h.max, 4.0);
+    }
+
+    #[test]
+    fn p999_distinguishes_tails_p99_cannot_see() {
+        // Two latency profiles identical through p99 — only the deep
+        // tail differs. p999 must separate them; p99 must not.
+        let mut bounded = Histogram::default();
+        let mut stalls = Histogram::default();
+        for i in 0..100_000u32 {
+            bounded.observe(2e-3);
+            if i % 500 == 499 {
+                stalls.observe(16.0); // 0.2% deep stalls
+            } else {
+                stalls.observe(2e-3);
+            }
+        }
+        assert_eq!(bounded.p99(), stalls.p99(), "p99 blind to a 0.2% tail");
+        assert!(stalls.p999() >= 16.0, "p999 = {}", stalls.p999());
+        assert!(bounded.p999() <= 4e-3, "p999 = {}", bounded.p999());
+        // Monotone through the tail: quantile is non-decreasing in q.
+        for qs in [[0.5, 0.9], [0.9, 0.99], [0.99, 0.999], [0.999, 1.0]] {
+            assert!(stalls.quantile(qs[0]) <= stalls.quantile(qs[1]));
+        }
     }
 
     #[test]

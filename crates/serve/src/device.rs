@@ -1,0 +1,87 @@
+//! Converts measured kernel costs into simulated service time.
+//!
+//! The serving engine times batches with the same additive roofline the
+//! trainer uses for simulated epochs: compute at a nominal FLOP rate,
+//! memory traffic at a nominal bandwidth, plus a fixed per-launch
+//! overhead. Because the [`dl_tensor::acct::OpCost`] fed in is *measured*
+//! from the actual batched kernels (weights read once per batch, not once
+//! per request), dynamic batching shows up here as a genuine reduction in
+//! per-request time, not as scheduler bookkeeping.
+
+use dl_obs::{fields, Fields, ToFields};
+use dl_tensor::acct::OpCost;
+
+/// A simulated inference device: the knobs that decide where the
+/// batching win comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Peak floating-point throughput, FLOPs per second.
+    pub flops_per_sec: f64,
+    /// Memory bandwidth, bytes per second (reads and writes combined).
+    pub bytes_per_sec: f64,
+    /// Fixed overhead per batch launch, seconds (queue handoff, kernel
+    /// launch, response fan-out) — the part batch=1 serving pays per
+    /// request and batching amortizes.
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceModel {
+    /// The nominal serving accelerator: the trainer's 10 TFLOP/s device
+    /// with memory bandwidth low enough that toy-MLP inference is
+    /// bandwidth-bound — exactly the regime where re-reading weights for
+    /// every single-row forward is the dominant cost.
+    #[must_use]
+    pub fn nominal() -> Self {
+        DeviceModel {
+            flops_per_sec: 10e12,
+            bytes_per_sec: 8e9,
+            launch_overhead_s: 1e-6,
+        }
+    }
+
+    /// Simulated seconds to execute one batch with the given measured
+    /// cost: launch overhead + compute time + memory-traffic time.
+    #[must_use]
+    pub fn service_time(&self, cost: &OpCost) -> f64 {
+        let compute = cost.flops as f64 / self.flops_per_sec;
+        let traffic = (cost.bytes_read + cost.bytes_written) as f64 / self.bytes_per_sec;
+        self.launch_overhead_s + compute + traffic
+    }
+}
+
+impl ToFields for DeviceModel {
+    fn to_fields(&self) -> Fields {
+        fields! {
+            "flops_per_sec" => self.flops_per_sec,
+            "bytes_per_sec" => self.bytes_per_sec,
+            "launch_overhead_s" => self.launch_overhead_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_is_additive_roofline() {
+        let d = DeviceModel {
+            flops_per_sec: 1e9,
+            bytes_per_sec: 1e6,
+            launch_overhead_s: 1e-3,
+        };
+        let c = OpCost {
+            flops: 2_000_000,
+            bytes_read: 1500,
+            bytes_written: 500,
+        };
+        // 1ms launch + 2ms compute + 2ms traffic
+        assert!((d.service_time(&c) - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_batch_still_pays_launch_overhead() {
+        let d = DeviceModel::nominal();
+        assert_eq!(d.service_time(&OpCost::default()), d.launch_overhead_s);
+    }
+}

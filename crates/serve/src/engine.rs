@@ -1,0 +1,461 @@
+//! The deterministic serving engine: one simulated device, per-variant
+//! queues, event-driven time on `dl_obs::VirtualClock`.
+//!
+//! The engine replays an open-loop arrival schedule against the variant
+//! family. Each flushed batch *actually runs* the batched dl-nn forward
+//! (so answers — and therefore measured accuracy — are real), while its
+//! duration comes from the variant's measured cost table through the
+//! [`DeviceModel`]. All state advances in event order on plain `f64`
+//! simulated seconds mirrored into the recorder's `VirtualClock`, so a
+//! seeded run is byte-identical every time, traced or not.
+
+use std::collections::VecDeque;
+
+use dl_nn::Dataset;
+use dl_obs::{fields, Recorder};
+
+use crate::admission::{admit, AdmissionContext, AdmissionPolicy, Decision};
+use crate::batcher::BatchPolicy;
+use crate::device::DeviceModel;
+use crate::load::Request;
+use crate::report::{percentile, ServeReport, VariantServeStats};
+use crate::variant::VariantRegistry;
+
+/// One serving run's configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush policy shared by every variant queue.
+    pub batch: BatchPolicy,
+    /// Admission policy applied to every arrival.
+    pub admission: AdmissionPolicy,
+    /// Name of the variant requests target before any downgrade.
+    pub primary: String,
+    /// The simulated device executing batches.
+    pub device: DeviceModel,
+}
+
+/// A batch the device is currently executing.
+struct InFlight {
+    variant: usize,
+    done_s: f64,
+    span: dl_obs::SpanId,
+    arrivals: Vec<f64>,
+    correct: usize,
+    downgraded: usize,
+}
+
+/// Serves `requests` (sorted by arrival time) against the family.
+///
+/// Observability: per-batch spans on the variant's track, `serve.shed` /
+/// `serve.downgrade` instants, `serve.{served,shed,downgraded}` counters
+/// and a `serve.latency_s` histogram — all through `rec`, so a
+/// `NullRecorder` run does no collection work and returns a bit-identical
+/// report (the clock still advances; it is shared simulation state).
+///
+/// # Panics
+/// Panics when the primary variant is unknown or a request's sample index
+/// is out of range for `data`.
+pub fn serve(
+    registry: &mut VariantRegistry,
+    data: &Dataset,
+    requests: &[Request],
+    cfg: &ServeConfig,
+    rec: &dyn Recorder,
+) -> ServeReport {
+    let primary = registry
+        .index_of(&cfg.primary)
+        .unwrap_or_else(|| panic!("unknown primary variant {:?}", cfg.primary));
+    let n_variants = registry.variants.len();
+    let mut queues: Vec<VecDeque<Request>> = vec![VecDeque::new(); n_variants];
+    let mut stats: Vec<VariantServeStats> = registry
+        .variants
+        .iter()
+        .map(|v| VariantServeStats {
+            name: v.name.clone(),
+            served: 0,
+            batches: 0,
+            correct: 0,
+        })
+        .collect();
+
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut in_flight: Option<InFlight> = None;
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests.len());
+    let mut downgraded_pending: Vec<VecDeque<bool>> = vec![VecDeque::new(); n_variants];
+    let mut shed = 0usize;
+    let mut downgraded = 0usize;
+    let mut first_arrival = f64::INFINITY;
+    let mut last_completion = 0.0f64;
+
+    loop {
+        // ---- next event time -------------------------------------------
+        let drain = next_arrival >= requests.len();
+        let mut t_next = f64::INFINITY;
+        if let Some(fl) = &in_flight {
+            t_next = t_next.min(fl.done_s);
+        }
+        if !drain {
+            t_next = t_next.min(requests[next_arrival].arrival_s);
+        }
+        if in_flight.is_none() {
+            for q in &queues {
+                if let Some(head) = q.front() {
+                    let deadline = cfg
+                        .batch
+                        .next_deadline(q.len(), head.arrival_s)
+                        .expect("non-empty queue has a deadline");
+                    // Draining: nothing can top the batch up, go now.
+                    t_next = t_next.min(if drain { now } else { deadline });
+                }
+            }
+        }
+        if t_next.is_infinite() {
+            break;
+        }
+        now = now.max(t_next);
+        rec.clock().set(now);
+
+        // ---- 1: completion ---------------------------------------------
+        if let Some(fl) = &in_flight {
+            if fl.done_s <= now {
+                let fl = in_flight.take().expect("checked above");
+                for &arrival in &fl.arrivals {
+                    let latency = fl.done_s - arrival;
+                    latencies.push(latency);
+                    rec.observe("serve.latency_s", latency);
+                }
+                let b = fl.arrivals.len();
+                stats[fl.variant].served += b;
+                stats[fl.variant].batches += 1;
+                stats[fl.variant].correct += fl.correct;
+                downgraded += fl.downgraded;
+                rec.add_counter("serve.served", b as u64);
+                rec.add_counter("serve.downgraded", fl.downgraded as u64);
+                rec.span_end(fl.span, fields! { "batch" => b });
+                last_completion = last_completion.max(fl.done_s);
+                continue;
+            }
+        }
+
+        // ---- 2: arrival ------------------------------------------------
+        if !drain && requests[next_arrival].arrival_s <= now {
+            let req = requests[next_arrival];
+            next_arrival += 1;
+            first_arrival = first_arrival.min(req.arrival_s);
+            let queue_lens: Vec<usize> = queues.iter().map(VecDeque::len).collect();
+            let busy_remaining_s = in_flight
+                .as_ref()
+                .map_or(0.0, |fl| (fl.done_s - now).max(0.0));
+            let ctx = AdmissionContext {
+                registry,
+                device: &cfg.device,
+                batch: &cfg.batch,
+                queue_lens: &queue_lens,
+                busy_remaining_s,
+            };
+            match admit(&cfg.admission, &ctx, primary) {
+                Decision::Accept(v) => {
+                    queues[v].push_back(req);
+                    downgraded_pending[v].push_back(false);
+                }
+                Decision::Downgrade { from, to } => {
+                    queues[to].push_back(req);
+                    downgraded_pending[to].push_back(true);
+                    rec.instant(
+                        to as u32,
+                        "serve.downgrade",
+                        fields! {
+                            "request" => req.id,
+                            "from" => registry.variants[from].name.clone(),
+                            "to" => registry.variants[to].name.clone(),
+                        },
+                    );
+                }
+                Decision::Shed => {
+                    shed += 1;
+                    rec.add_counter("serve.shed", 1);
+                    rec.instant(
+                        primary as u32,
+                        "serve.shed",
+                        fields! { "request" => req.id },
+                    );
+                }
+            }
+            continue;
+        }
+
+        // ---- 3: flush --------------------------------------------------
+        if in_flight.is_none() {
+            // Oldest head wins; ties break on the lower variant index.
+            let ready = (0..n_variants)
+                .filter(|&v| {
+                    queues[v].front().is_some_and(|head| {
+                        cfg.batch.ready(queues[v].len(), head.arrival_s, now, drain)
+                    })
+                })
+                .min_by(|&a, &b| {
+                    queues[a]
+                        .front()
+                        .expect("ready implies non-empty")
+                        .arrival_s
+                        .total_cmp(&queues[b].front().expect("ready implies non-empty").arrival_s)
+                });
+            if let Some(v) = ready {
+                let b = queues[v].len().min(cfg.batch.max_batch);
+                let mut samples = Vec::with_capacity(b);
+                let mut arrivals = Vec::with_capacity(b);
+                let mut batch_downgrades = 0usize;
+                for _ in 0..b {
+                    let r = queues[v].pop_front().expect("len checked");
+                    samples.push(r.sample);
+                    arrivals.push(r.arrival_s);
+                    if downgraded_pending[v].pop_front().expect("tracks queue") {
+                        batch_downgrades += 1;
+                    }
+                }
+                // The real batched forward: one [B, d] eval-mode pass.
+                let xb = data.x.select_rows(&samples);
+                let preds = registry.variants[v].model.predict(&xb);
+                let correct = preds
+                    .iter()
+                    .zip(&samples)
+                    .filter(|(p, &s)| **p == data.y[s])
+                    .count();
+                let dur = cfg.device.service_time(registry.variants[v].cost_at(b));
+                let span = rec.span_start(
+                    v as u32,
+                    "serve.batch",
+                    fields! {
+                        "variant" => registry.variants[v].name.clone(),
+                        "batch" => b,
+                    },
+                );
+                in_flight = Some(InFlight {
+                    variant: v,
+                    done_s: now + dur,
+                    span,
+                    arrivals,
+                    correct,
+                    downgraded: batch_downgrades,
+                });
+            }
+        }
+    }
+
+    // ---- report ---------------------------------------------------------
+    let served: usize = stats.iter().map(|s| s.served).sum();
+    let correct: usize = stats.iter().map(|s| s.correct).sum();
+    let batches: usize = stats.iter().map(|s| s.batches).sum();
+    let sim_seconds = if served == 0 {
+        0.0
+    } else {
+        last_completion - first_arrival.min(last_completion)
+    };
+    ServeReport {
+        offered: requests.len(),
+        served,
+        shed,
+        downgraded,
+        sim_seconds,
+        throughput_rps: if sim_seconds > 0.0 {
+            served as f64 / sim_seconds
+        } else {
+            0.0
+        },
+        accuracy: if served == 0 {
+            0.0
+        } else {
+            correct as f64 / served as f64
+        },
+        p50_s: percentile(&latencies, 0.50),
+        p99_s: percentile(&latencies, 0.99),
+        max_s: latencies.iter().copied().fold(0.0, f64::max),
+        mean_s: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            served as f64 / batches as f64
+        },
+        per_variant: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{open_loop, LoadConfig};
+    use crate::variant::{build_family, FamilyConfig};
+    use dl_obs::{NullRecorder, TimelineRecorder};
+
+    fn family_and_data() -> (VariantRegistry, Dataset) {
+        let data = dl_data::blobs(120, 3, 8, 6.0, 0.5, 70);
+        let eval = dl_data::blobs(80, 3, 8, 6.0, 0.5, 71);
+        let reg = build_family(
+            &data,
+            &eval,
+            &FamilyConfig {
+                teacher_dims: vec![8, 24, 3],
+                student_hidden: vec![6],
+                prune_sparsity: 0.7,
+                morph_budget: 150,
+                ensemble_members: 2,
+                max_batch: 16,
+                epochs: 9,
+                seed: 80,
+            },
+        );
+        (reg, eval)
+    }
+
+    fn cfg(batch: BatchPolicy, admission: AdmissionPolicy) -> ServeConfig {
+        ServeConfig {
+            batch,
+            admission,
+            primary: "fp32-base".into(),
+            device: DeviceModel::nominal(),
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic_and_recorder_invisible() {
+        let (mut reg, eval) = family_and_data();
+        let load = open_loop(
+            &LoadConfig {
+                rate_rps: 200_000.0,
+                requests: 400,
+                seed: 5,
+            },
+            eval.x.dims()[0],
+        );
+        let c = cfg(BatchPolicy::dynamic(16, 5e-6), AdmissionPolicy::AcceptAll);
+        let a = serve(&mut reg, &eval, &load, &c, &NullRecorder::new());
+        let b = serve(&mut reg, &eval, &load, &c, &NullRecorder::new());
+        assert_eq!(a, b, "same schedule, same report");
+        let rec = TimelineRecorder::new();
+        let traced = serve(&mut reg, &eval, &load, &c, &rec);
+        assert_eq!(a, traced, "tracing must not change the result");
+        let events = rec.events();
+        assert!(events.iter().any(|e| e.name == "serve.batch"));
+        let h = rec.histogram("serve.latency_s").expect("latency histogram");
+        assert_eq!(h.count, traced.served as u64);
+    }
+
+    #[test]
+    fn all_requests_served_without_admission_control() {
+        let (mut reg, eval) = family_and_data();
+        let load = open_loop(
+            &LoadConfig {
+                rate_rps: 50_000.0,
+                requests: 300,
+                seed: 6,
+            },
+            eval.x.dims()[0],
+        );
+        let c = cfg(BatchPolicy::no_batching(), AdmissionPolicy::AcceptAll);
+        let r = serve(&mut reg, &eval, &load, &c, &NullRecorder::new());
+        assert_eq!(r.served, 300);
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.downgraded, 0);
+        assert!((r.mean_batch - 1.0).abs() < 1e-12, "batch=1 policy");
+        assert!(r.accuracy > 0.5, "served answers come from a real model");
+        assert!(r.p50_s <= r.p99_s && r.p99_s <= r.max_s);
+    }
+
+    #[test]
+    fn batching_multiplies_throughput_at_bounded_tail() {
+        let (mut reg, eval) = family_and_data();
+        // Offered load near the batch=1 saturation knee.
+        let base = &reg.variants[0];
+        let device = DeviceModel::nominal();
+        let cap1 = 1.0 / device.service_time(base.cost_at(1));
+        let load = open_loop(
+            &LoadConfig {
+                rate_rps: 3.0 * cap1,
+                requests: 600,
+                seed: 7,
+            },
+            eval.x.dims()[0],
+        );
+        let single = serve(
+            &mut reg,
+            &eval,
+            &load,
+            &cfg(BatchPolicy::no_batching(), AdmissionPolicy::AcceptAll),
+            &NullRecorder::new(),
+        );
+        let dynamic = serve(
+            &mut reg,
+            &eval,
+            &load,
+            &cfg(BatchPolicy::dynamic(16, 5e-6), AdmissionPolicy::AcceptAll),
+            &NullRecorder::new(),
+        );
+        assert!(dynamic.mean_batch > 2.0, "batches actually form");
+        assert!(
+            dynamic.throughput_rps > 2.0 * single.throughput_rps,
+            "dynamic {} vs batch=1 {}",
+            dynamic.throughput_rps,
+            single.throughput_rps
+        );
+        assert!(
+            dynamic.p99_s < single.p99_s,
+            "amortized service keeps the tail lower at 3x the knee"
+        );
+    }
+
+    #[test]
+    fn slo_aware_admission_bounds_the_tail_under_overload() {
+        let (mut reg, eval) = family_and_data();
+        let device = DeviceModel::nominal();
+        let batch = BatchPolicy::dynamic(16, 5e-6);
+        let base = &reg.variants[0];
+        let cap_dyn = 16.0 / device.service_time(base.cost_at(16));
+        let slo = 2e-5;
+        let load = open_loop(
+            &LoadConfig {
+                rate_rps: 2.0 * cap_dyn,
+                requests: 2000,
+                seed: 8,
+            },
+            eval.x.dims()[0],
+        );
+        let melted = serve(
+            &mut reg,
+            &eval,
+            &load,
+            &cfg(batch, AdmissionPolicy::AcceptAll),
+            &NullRecorder::new(),
+        );
+        let governed = serve(
+            &mut reg,
+            &eval,
+            &load,
+            &cfg(
+                batch,
+                AdmissionPolicy::SloAware {
+                    p99_slo_s: slo,
+                    headroom: 0.7,
+                    min_accuracy: 0.0,
+                },
+            ),
+            &NullRecorder::new(),
+        );
+        assert!(
+            melted.p99_s > 2.0 * slo,
+            "accept-all must bust the SLO at 2x capacity: p99 {}",
+            melted.p99_s
+        );
+        assert!(governed.shed > 0, "overload must shed");
+        assert!(
+            governed.p99_s <= slo,
+            "governed p99 {} vs slo {slo}",
+            governed.p99_s
+        );
+        assert!(governed.served + governed.shed == governed.offered);
+    }
+}

@@ -1,0 +1,44 @@
+//! `dl-serve` — SLO-aware inference serving over the dl-sys stack.
+//!
+//! The ROADMAP's north star serves "heavy traffic from millions of users,
+//! as fast as the hardware allows"; every crate so far lives on the
+//! training side of that sentence. This crate is the inference side:
+//!
+//! 1. **Variant registry** ([`build_family`]): one trained dl-nn teacher
+//!    is materialized into the tutorial's whole Part-1 menu — int8
+//!    quantized, magnitude-pruned, distilled, MorphNet-resized and
+//!    snapshot-ensembled — each measured for accuracy and annotated with
+//!    per-layer costs from `dl_prof::NetworkProfile` plus a measured
+//!    eval-mode forward cost at every batch size.
+//! 2. **Dynamic batcher** ([`BatchPolicy`]): per-variant queues flushed
+//!    by max-batch / max-delay, executing the *batched* dl-nn forward so
+//!    the speedup is a measured kernel-level property (weights read once
+//!    per batch), not scheduler bookkeeping.
+//! 3. **Admission controller** ([`AdmissionPolicy`]): predicts queue
+//!    delay from the measured cost tables and downgrades to a cheaper
+//!    variant — or sheds — when the prediction would bust the p99 SLO.
+//! 4. **Engine** ([`serve`]): a deterministic event-driven simulation on
+//!    `dl_obs::VirtualClock`, emitting spans / instants / counters / a
+//!    latency histogram through any `Recorder`, bit-identical under
+//!    `NullRecorder`.
+//!
+//! The cost-model-driven variant choice follows SystemML's optimizer
+//! philosophy (pick the execution plan by a cost model, here measured
+//! rather than estimated); the deploy-stage focus follows *Engineering
+//! Reliable Deep Learning Systems*.
+
+pub mod admission;
+pub mod batcher;
+pub mod device;
+pub mod engine;
+pub mod load;
+pub mod report;
+pub mod variant;
+
+pub use admission::{admit, AdmissionContext, AdmissionPolicy, Decision};
+pub use batcher::BatchPolicy;
+pub use device::DeviceModel;
+pub use engine::{serve, ServeConfig};
+pub use load::{open_loop, LoadConfig, Request};
+pub use report::{percentile, ServeReport, VariantServeStats};
+pub use variant::{build_family, FamilyConfig, Variant, VariantModel, VariantRegistry};
