@@ -29,6 +29,7 @@ pub mod e22_fault_tolerance;
 pub mod e23_observability;
 pub mod e24_profiling;
 pub mod e25_serving;
+pub mod e26_parallel;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

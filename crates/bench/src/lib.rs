@@ -1,7 +1,7 @@
 //! # dl-bench
 //!
 //! The experiment harness: one module per experiment in `DESIGN.md`'s
-//! index (E1-E25), each regenerating one quantitative claim of the
+//! index (E1-E26), each regenerating one quantitative claim of the
 //! tutorial. The `exp` binary dispatches on experiment id and prints the
 //! result rows; every run also writes a JSON record under
 //! `target/experiments/` which `EXPERIMENTS.md` references and E21's
@@ -10,9 +10,11 @@
 //!
 //! Determinism: every experiment takes no inputs and uses fixed seeds, so
 //! reruns reproduce identical rows (Criterion wall-clock benches in
-//! `benches/` are the only timing-sensitive artifacts). Traces are
-//! timestamped by `dl_obs::VirtualClock` simulated time, so they are
-//! byte-reproducible too.
+//! `benches/` are the only timing-sensitive artifacts; E26 additionally
+//! reports wall-clock speedups, but only as string fields that the
+//! baseline gate ignores). Traces are timestamped by
+//! `dl_obs::VirtualClock` simulated time, so they are byte-reproducible
+//! too.
 
 #![warn(missing_docs)]
 
@@ -23,7 +25,7 @@ pub use table::{ExperimentResult, Table};
 
 use dl_obs::{fields, NullRecorder, Recorder};
 
-/// Runs one experiment by id (`"e1"`..`"e25"`). Returns its result.
+/// Runs one experiment by id (`"e1"`..`"e26"`). Returns its result.
 ///
 /// # Errors
 /// Returns an error string for unknown ids.
@@ -41,7 +43,9 @@ pub fn run_experiment(id: &str) -> Result<ExperimentResult, String> {
 pub fn run_experiment_traced(id: &str, rec: &dyn Recorder) -> Result<ExperimentResult, String> {
     let canonical = id.to_ascii_lowercase();
     let span = rec.span_start(0, "experiment", fields! { "id" => canonical.as_str() });
-    let result = dispatch(&canonical, rec);
+    // Route per-kernel spans (kernel.matmul etc.) from the parallel
+    // compute backend onto the same recorder for the span's duration.
+    let result = dl_tensor::par::with_recorder(rec, || dispatch(&canonical, rec));
     match &result {
         Ok(r) => rec.span_end(span, fields! { "id" => canonical.as_str(), "verdict" => r.verdict.as_str() }),
         Err(e) => rec.span_end(span, fields! { "id" => canonical.as_str(), "error" => e.as_str() }),
@@ -76,19 +80,20 @@ fn dispatch(id: &str, rec: &dyn Recorder) -> Result<ExperimentResult, String> {
         "e23" => Ok(exps::e23_observability::run()),
         "e24" => Ok(exps::e24_profiling::run()),
         "e25" => Ok(exps::e25_serving::run()),
+        "e26" => Ok(exps::e26_parallel::run()),
         "a1" => Ok(exps::a01_error_feedback::run()),
         "a2" => Ok(exps::a02_rmi_leaves::run()),
         "a3" => Ok(exps::a03_p3_slices::run()),
         "a4" => Ok(exps::a04_snapshot_cycles::run()),
         other => Err(format!(
-            "unknown experiment {other:?}; expected e1..e25, a1..a4, or 'all'"
+            "unknown experiment {other:?}; expected e1..e26, a1..a4, or 'all'"
         )),
     }
 }
 
-/// All experiment ids in order: claims E1-E25, then ablations A1-A4.
+/// All experiment ids in order: claims E1-E26, then ablations A1-A4.
 pub fn all_ids() -> Vec<String> {
-    let mut ids: Vec<String> = (1..=25).map(|i| format!("e{i}")).collect();
+    let mut ids: Vec<String> = (1..=26).map(|i| format!("e{i}")).collect();
     ids.extend((1..=4).map(|i| format!("a{i}")));
     ids
 }
@@ -121,6 +126,7 @@ pub fn describe(id: &str) -> &'static str {
         "e23" => "observability: fault-recovery timeline and tracing overhead",
         "e24" => "profiling: critical path, lost-time attribution, measured costs",
         "e25" => "serving: dynamic batching, variant selection, load shedding",
+        "e26" => "parallel + cache-blocked kernels: speedup, bit-identical results",
         "a1" => "ablation: error feedback in gradient compression",
         "a2" => "ablation: RMI leaf budget",
         "a3" => "ablation: P3 slice granularity",

@@ -81,6 +81,9 @@ pub enum Category {
     /// Inference serving: batching, variant selection, admission control
     /// (throughput vs. tail latency vs. accuracy at deploy time).
     Serving,
+    /// Compute-backend systems work: parallel execution, cache blocking,
+    /// kernel scheduling (wall-clock time for identical numerics).
+    Systems,
 }
 
 /// A named, categorized measurement.

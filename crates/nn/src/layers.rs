@@ -8,7 +8,7 @@
 //! spatial layers ([`Conv2d`], [`MaxPool2d`]) carry their own `[C, H, W]`
 //! geometry and reinterpret each row.
 
-use dl_tensor::{init, Tensor};
+use dl_tensor::{init, par, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -222,7 +222,10 @@ impl Dense {
 
     fn forward(&mut self, x: &Tensor) -> Tensor {
         self.input = Some(x.clone());
-        &x.matmul(&self.weight) + &self.bias
+        // The parallel kernel is bit-identical to `x.matmul(..)` at any
+        // thread count, so training trajectories do not depend on
+        // DL_THREADS.
+        &par::matmul(x, &self.weight) + &self.bias
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -230,9 +233,9 @@ impl Dense {
             .input
             .as_ref()
             .expect("Dense::backward called before forward");
-        self.grad_weight = x.transpose().matmul(grad);
+        self.grad_weight = par::matmul(&x.transpose(), grad);
         self.grad_bias = grad.sum_axis(0);
-        grad.matmul(&self.weight.transpose())
+        par::matmul(grad, &self.weight.transpose())
     }
 }
 
@@ -491,8 +494,8 @@ impl Conv2d {
                 .row(s)
                 .reshape([self.in_channels, self.height, self.width])
                 .expect("row length checked above");
-            let cols = img.im2col(self.kh, self.kw, self.stride, self.pad);
-            let y = self.weight.matmul(&cols); // [out_c, oh*ow]
+            let cols = par::im2col(&img, self.kh, self.kw, self.stride, self.pad);
+            let y = par::matmul(&self.weight, &cols); // [out_c, oh*ow]
             for c in 0..self.out_channels {
                 let b = self.bias.data()[c];
                 for p in 0..oh * ow {
@@ -523,10 +526,11 @@ impl Conv2d {
                 .row(s)
                 .reshape([self.out_channels, positions])
                 .expect("grad row matches output geometry");
-            gw = &gw + &g_s.matmul(&cols.transpose());
+            gw = &gw + &par::matmul(&g_s, &cols.transpose());
             gb = &gb + &g_s.sum_axis(1);
-            let dcols = self.weight.transpose().matmul(&g_s);
-            let dx = dcols.col2im(
+            let dcols = par::matmul(&self.weight.transpose(), &g_s);
+            let dx = par::col2im(
+                &dcols,
                 self.in_channels,
                 self.height,
                 self.width,

@@ -293,10 +293,13 @@ impl Trainer {
         added
     }
 
-    /// Rows per evaluation chunk: large enough that every dataset in the
-    /// workspace evaluates in a single zero-copy forward today, while
-    /// bounding peak activation memory if a bigger corpus arrives.
-    pub const EVAL_BATCH: usize = 2048;
+    /// Rows per evaluation chunk. Small enough that the workspace's
+    /// datasets genuinely exercise the multi-chunk path (the previous
+    /// 2048 meant every eval was a single chunk and the chunking logic
+    /// never ran), while still amortizing each dense layer's weight read
+    /// over hundreds of rows. Chunking is bitwise invisible: see
+    /// `predict_batched` and [`Trainer::evaluate_metrics`].
+    pub const EVAL_BATCH: usize = 256;
 
     /// Evaluates accuracy of `net` on a dataset without training.
     ///
@@ -306,6 +309,65 @@ impl Trainer {
     /// (see `predict_batched`).
     pub fn evaluate(net: &mut Network, data: &Dataset) -> f64 {
         accuracy(&net.predict_batched(&data.x, Self::EVAL_BATCH), &data.y)
+    }
+
+    /// Cross-entropy loss *and* accuracy of `net` on a dataset, computed
+    /// [`Trainer::EVAL_BATCH`] rows at a time so peak activation memory
+    /// stays bounded on arbitrarily large evaluation sets.
+    ///
+    /// Both numbers are **bit-identical to the unchunked computation**:
+    /// the forward pass is row-independent (see `predict_batched`), and
+    /// the loss accumulates each element's contribution — the exact
+    /// `t * ln(max(p, 1e-12))` expression `Loss::SoftmaxCrossEntropy`
+    /// uses — into one running `f32` sum in global row-major element
+    /// order, the same addition sequence `Tensor::sum` performs over the
+    /// full matrix, before the single division by the total row count.
+    pub fn evaluate_metrics(net: &mut Network, data: &Dataset) -> (f64, f64) {
+        let rows = data.x.dims()[0];
+        let classes = data.classes;
+        let mut acc_sum = 0.0f32;
+        let mut correct = 0usize;
+        let mut lo = 0usize;
+        while lo < rows {
+            let hi = usize::min(lo + Self::EVAL_BATCH, rows);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let chunk = if lo == 0 && hi == rows {
+                // Single chunk: forward the matrix as-is, no row copies.
+                data.x.clone()
+            } else {
+                data.x.select_rows(&idx)
+            };
+            let logits = net.forward(&chunk, false);
+            let probs = crate::loss::softmax(&logits);
+            for (r, &row) in idx.iter().enumerate() {
+                let p_row = &probs.data()[r * classes..(r + 1) * classes];
+                // Argmax on the *logits* (not the probs), matching
+                // `Network::predict` exactly even where float rounding
+                // collapses distinct logits to equal probabilities.
+                let l_row = &logits.data()[r * classes..(r + 1) * classes];
+                let mut best = 0usize;
+                for c in 0..classes {
+                    // Replicate the unchunked zip+sum element-for-element,
+                    // zeros included, so the running sum sees the same f32
+                    // addition sequence.
+                    let t = if data.y[row] == c { 1.0f32 } else { 0.0 };
+                    acc_sum += if t > 0.0 {
+                        t * p_row[c].max(1e-12).ln()
+                    } else {
+                        0.0
+                    };
+                    if l_row[c] > l_row[best] {
+                        best = c;
+                    }
+                }
+                if best == data.y[row] {
+                    correct += 1;
+                }
+            }
+            lo = hi;
+        }
+        let loss = f64::from(-acc_sum / rows as f32);
+        (loss, correct as f64 / rows as f64)
     }
 }
 
@@ -447,6 +509,33 @@ mod tests {
             .map(|r| r.epoch)
             .collect();
         assert_eq!(ends, vec![2, 5]);
+    }
+
+    #[test]
+    fn evaluate_metrics_chunked_matches_unchunked_bitwise() {
+        // More rows than EVAL_BATCH so the multi-chunk path genuinely
+        // runs (2 full chunks plus a ragged tail).
+        let data = blobs(Trainer::EVAL_BATCH * 2 + 37, 11);
+        let mut r = rng(12);
+        let mut net = Network::mlp(&[2, 16, 2], &mut r);
+        let mut trainer = Trainer::new(
+            TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+            Optimizer::sgd(0.1),
+        );
+        trainer.fit(&mut net, &data);
+        let (loss, acc) = Trainer::evaluate_metrics(&mut net, &data);
+        // Unchunked reference: one full forward, the library loss, the
+        // library accuracy.
+        let logits = net.forward(&data.x, false);
+        let targets = one_hot(&data.y, data.classes);
+        let (ref_loss, _) = Loss::SoftmaxCrossEntropy.evaluate(&logits, &targets);
+        let ref_acc = accuracy(&net.predict(&data.x), &data.y);
+        assert_eq!(loss, f64::from(ref_loss), "chunked loss must be bit-identical");
+        assert_eq!(acc, ref_acc, "chunked accuracy must be bit-identical");
+        assert_eq!(Trainer::evaluate(&mut net, &data), ref_acc);
     }
 
     #[test]

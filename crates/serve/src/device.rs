@@ -47,6 +47,34 @@ impl DeviceModel {
         let traffic = (cost.bytes_read + cost.bytes_written) as f64 / self.bytes_per_sec;
         self.launch_overhead_s + compute + traffic
     }
+
+    /// How many `dl_tensor::par` worker threads to fan a batch of this
+    /// cost across, at most `max_threads` (the serving host's configured
+    /// pool size). Each extra thread is modeled as paying one more launch
+    /// overhead, so fanning out is only worth it while every thread's
+    /// slice of the serial time covers at least
+    /// [`DeviceModel::MIN_WORK_PER_THREAD_LAUNCHES`] launches — small
+    /// batches (the batch=1 admission path, tiny distilled variants)
+    /// stay single-threaded instead of drowning in coordination.
+    ///
+    /// Deterministic: depends only on the measured cost and this model,
+    /// never on wall-clock behavior, so serving runs stay reproducible.
+    #[must_use]
+    pub fn threads_for(&self, cost: &OpCost, max_threads: usize) -> usize {
+        if max_threads <= 1 || self.launch_overhead_s <= 0.0 {
+            return max_threads.max(1);
+        }
+        let serial = self.service_time(cost) - self.launch_overhead_s;
+        let per_thread_floor = Self::MIN_WORK_PER_THREAD_LAUNCHES * self.launch_overhead_s;
+        let fit = (serial / per_thread_floor) as usize;
+        fit.clamp(1, max_threads)
+    }
+}
+
+impl DeviceModel {
+    /// A thread must take on at least this many launch-overheads' worth
+    /// of serial work before [`DeviceModel::threads_for`] adds it.
+    pub const MIN_WORK_PER_THREAD_LAUNCHES: f64 = 4.0;
 }
 
 impl ToFields for DeviceModel {
@@ -83,5 +111,36 @@ mod tests {
     fn zero_cost_batch_still_pays_launch_overhead() {
         let d = DeviceModel::nominal();
         assert_eq!(d.service_time(&OpCost::default()), d.launch_overhead_s);
+    }
+
+    #[test]
+    fn thread_heuristic_keeps_small_batches_sequential() {
+        let d = DeviceModel::nominal();
+        // A batch=1 toy-MLP forward: a few thousand FLOPs, serial time
+        // far below one launch overhead -> never fan out.
+        let tiny = OpCost {
+            flops: 4_000,
+            bytes_read: 8_000,
+            bytes_written: 200,
+        };
+        assert_eq!(d.threads_for(&tiny, 8), 1);
+        // A batch whose serial time dwarfs the launch overhead uses the
+        // whole pool.
+        let big = OpCost {
+            flops: 2_000_000_000,
+            bytes_read: 400_000_000,
+            bytes_written: 4_000_000,
+        };
+        assert_eq!(d.threads_for(&big, 8), 8);
+        // In between, the count scales with serial work: 12us of serial
+        // work over a 1us launch overhead and a 4-launch floor -> 3.
+        let mid = OpCost {
+            flops: 120_000_000, // 12us at 10 TFLOP/s
+            bytes_read: 0,
+            bytes_written: 0,
+        };
+        assert_eq!(d.threads_for(&mid, 8), 3);
+        // max_threads caps everything.
+        assert_eq!(d.threads_for(&big, 1), 1);
     }
 }

@@ -214,15 +214,24 @@ pub fn serve(
                         batch_downgrades += 1;
                     }
                 }
-                // The real batched forward: one [B, d] eval-mode pass.
+                // The real batched forward: one [B, d] eval-mode pass,
+                // fanned across the kernel pool only when the batch's
+                // measured cost amortizes the per-thread launch overhead
+                // (small batches stay sequential). The parallel kernels
+                // are bit-identical, so neither answers nor simulated
+                // time depend on the thread count.
+                let cost = *registry.variants[v].cost_at(b);
+                let threads = cfg.device.threads_for(&cost, dl_tensor::par::threads());
                 let xb = data.x.select_rows(&samples);
-                let preds = registry.variants[v].model.predict(&xb);
+                let variant = &mut registry.variants[v];
+                let preds =
+                    dl_tensor::par::with_threads(threads, || variant.model.predict(&xb));
                 let correct = preds
                     .iter()
                     .zip(&samples)
                     .filter(|(p, &s)| **p == data.y[s])
                     .count();
-                let dur = cfg.device.service_time(registry.variants[v].cost_at(b));
+                let dur = cfg.device.service_time(&cost);
                 let span = rec.span_start(
                     v as u32,
                     "serve.batch",

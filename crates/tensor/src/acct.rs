@@ -14,6 +14,22 @@
 //! charged inside inner scopes (a per-network profile sees the sum of its
 //! per-layer scopes).
 //!
+//! # Merge rule under threads
+//!
+//! Scopes are strictly thread-local — a scope opened on one thread never
+//! sees charges issued on another, and the `crate::par` worker threads
+//! never open scopes of their own. Instead, every parallel kernel follows
+//! one rule: **workers return their share of the work counters, and the
+//! kernel merges the shares and issues a single [`charge`] on the thread
+//! that called it** (the thread whose scope is open). Because the shares
+//! partition exactly the work the sequential kernel counts — e.g. each
+//! matmul worker reports the non-zero left-operand elements in its row
+//! range, and the charge is `2·Σnnz·n` — a parallel kernel charges an
+//! [`OpCost`] bit-for-bit equal to its sequential counterpart at any
+//! thread count. Integer counters merge by addition ([`OpCost::merge`]),
+//! so no ordering or rounding concerns arise the way they would for
+//! floats.
+//!
 //! ```
 //! use dl_tensor::{acct, Tensor};
 //! let a = Tensor::ones([4, 8]);

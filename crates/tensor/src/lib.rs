@@ -11,7 +11,11 @@
 //! * [`init`] — seeded random initializers (uniform, normal, Xavier/Glorot,
 //!   He) so every experiment in the workspace is reproducible,
 //! * [`acct`] — thread-local op-cost accounting (FLOPs, bytes moved) charged
-//!   by every kernel above, free when no scope is open.
+//!   by every kernel above, free when no scope is open,
+//! * [`par`] — a zero-dependency parallel + cache-blocked compute backend
+//!   (persistent `std::thread` worker pool, `DL_THREADS`/[`par::set_threads`]
+//!   thread-count control) whose kernels are **bit-identical** to the
+//!   sequential ones and charge identical [`acct`] costs.
 //!
 //! Design notes (see `DESIGN.md` at the workspace root):
 //!
@@ -30,6 +34,7 @@
 
 pub mod acct;
 pub mod init;
+pub mod par;
 mod shape;
 mod tensor;
 

@@ -1,0 +1,963 @@
+//! Zero-dependency parallel + cache-blocked compute backend.
+//!
+//! Every FLOP in the workspace funnels through the scalar kernels in
+//! [`Tensor`]; this module provides drop-in parallel and cache-blocked
+//! variants built on `std::thread` alone (the build environment has no
+//! route to a crates registry, so no rayon/crossbeam). Three design rules
+//! govern everything here:
+//!
+//! 1. **Bit-identical results.** Parallelism splits only over *output*
+//!    rows, channels, or column tiles; the per-element accumulation order
+//!    (the `k` loop in matmul, the `mid` loop in `sum_axis`, the
+//!    `ky/kx/oy/ox` scatter order in `col2im`) is exactly the sequential
+//!    kernel's. Identical `f32` operation sequences produce identical
+//!    bits, so [`par::matmul`](matmul) == [`Tensor::matmul`] bitwise at
+//!    any thread count — the same contract the `NullRecorder` paths keep.
+//! 2. **Exact cost accounting.** Worker threads never touch
+//!    [`acct`]'s thread-local scopes; each worker returns its share of
+//!    the work counters (the `nnz` count for matmul) and the *calling*
+//!    thread issues one [`acct::charge`] with the merged totals — the
+//!    same totals the sequential kernel charges. See the merge rule in
+//!    the [`acct`] module docs.
+//! 3. **A persistent pool.** Workers are spawned once (lazily, up to
+//!    [`MAX_THREADS`]) and parked on a condvar between kernels, so a
+//!    training loop issuing thousands of small launches pays no
+//!    per-kernel thread spawn. Panics inside a worker task are caught
+//!    and re-raised on the calling thread after every sibling task has
+//!    finished, so the scoped borrows below stay sound.
+//!
+//! Thread count resolves in priority order: a scoped [`with_threads`]
+//! override, then [`set_threads`], then the `DL_THREADS` environment
+//! variable, then `std::thread::available_parallelism()`.
+//!
+//! Cache blocking: [`matmul_blocked`] tiles the output columns and packs
+//! each `[k, tile]` panel of `B` into a contiguous scratch buffer per
+//! tile, so the inner fused multiply-add loop walks two dense arrays that
+//! both fit in cache even when `B`'s rows are long. Blocking wins once
+//! `B`'s working set (`4·k·n` bytes) spills the last-level cache; below
+//! that the packing copy is pure overhead, which is why the default tile
+//! is generous.
+//!
+//! ```
+//! use dl_tensor::{par, Tensor};
+//! let a = Tensor::ones([64, 32]);
+//! let b = Tensor::ones([32, 48]);
+//! let fast = par::with_threads(4, || par::matmul(&a, &b));
+//! assert_eq!(fast.data(), a.matmul(&b).data()); // bitwise, not approx
+//! ```
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::acct;
+use crate::Tensor;
+use dl_obs::{fields, Recorder};
+
+/// Hard upper bound on pool workers; `set_threads`/`with_threads` clamp
+/// to this.
+pub const MAX_THREADS: usize = 64;
+
+/// Default output-column tile width for [`matmul`]: 128 columns × 4 bytes
+/// = 512 B per packed panel row, so a `[k, tile]` panel stays L1/L2
+/// resident for every `k` in this workspace.
+pub const DEFAULT_TILE_COLS: usize = 128;
+
+// ----------------------------------------------------------------------
+// Thread-count configuration
+// ----------------------------------------------------------------------
+
+/// Global thread count; 0 = not yet resolved.
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`]; 0 = none.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Recorder installed by [`with_recorder`] for kernel spans.
+    static KERNEL_REC: Cell<Option<*const (dyn Recorder + 'static)>> = const { Cell::new(None) };
+}
+
+/// Number of threads the machine advertises (never less than 1).
+#[must_use]
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// `DL_THREADS` when set to a positive integer, else hardware threads.
+fn default_threads() -> usize {
+    std::env::var("DL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hardware_threads)
+        .min(MAX_THREADS)
+}
+
+/// Sets the process-wide default thread count (clamped to
+/// `1..=MAX_THREADS`). Overrides the `DL_THREADS` environment variable.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n.clamp(1, MAX_THREADS), Ordering::SeqCst);
+}
+
+/// The effective thread count for kernels launched from this thread:
+/// the innermost [`with_threads`] override if any, else the global
+/// setting, resolved on first use from `DL_THREADS` / hardware.
+#[must_use]
+pub fn threads() -> usize {
+    let o = OVERRIDE.with(Cell::get);
+    if o > 0 {
+        return o;
+    }
+    let g = GLOBAL_THREADS.load(Ordering::SeqCst);
+    if g > 0 {
+        return g;
+    }
+    let d = default_threads();
+    // First resolver wins; a concurrent set_threads simply overwrites.
+    let _ = GLOBAL_THREADS.compare_exchange(0, d, Ordering::SeqCst, Ordering::SeqCst);
+    GLOBAL_THREADS.load(Ordering::SeqCst)
+}
+
+/// Runs `f` with the effective thread count forced to `n` (clamped to
+/// `1..=MAX_THREADS`) on this thread, restoring the previous override on
+/// exit — including on panic.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(n.clamp(1, MAX_THREADS)));
+    let _reset = Reset(prev);
+    f()
+}
+
+// ----------------------------------------------------------------------
+// Kernel spans
+// ----------------------------------------------------------------------
+
+/// Runs `f` with `rec` installed as this thread's kernel-span recorder:
+/// every parallel kernel launched inside emits a `kernel.<name>` span
+/// (with `rows`/`cols`/`k`/`threads` fields) onto it, so `exp --profile`
+/// can decompose where kernel time goes. The previous recorder is
+/// restored on exit. When `rec.enabled()` is false (the `NullRecorder`),
+/// kernels skip span emission entirely — no `Fields` are ever built, so
+/// the untraced path stays allocation-free.
+pub fn with_recorder<R>(rec: &dyn Recorder, f: impl FnOnce() -> R) -> R {
+    struct Reset(Option<*const (dyn Recorder + 'static)>);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            KERNEL_REC.with(|c| c.set(self.0));
+        }
+    }
+    // SAFETY: the pointer is only dereferenced by kernels called inside
+    // `f`, and the guard clears it before this frame (and therefore the
+    // borrow) ends — including on unwind.
+    let ptr: *const (dyn Recorder + 'static) =
+        unsafe { std::mem::transmute(rec as *const dyn Recorder) };
+    let prev = KERNEL_REC.with(|c| c.replace(Some(ptr)));
+    let _reset = Reset(prev);
+    f()
+}
+
+/// Calls `f` with the installed kernel recorder, if any.
+fn with_rec<T>(f: impl FnOnce(&dyn Recorder) -> T) -> Option<T> {
+    KERNEL_REC.with(Cell::get).map(|p| {
+        // SAFETY: set only by with_recorder, which outlives every kernel
+        // call it wraps (see the guard there).
+        f(unsafe { &*p })
+    })
+}
+
+/// Opens a `kernel.<name>` span when a recorder is installed *and*
+/// enabled; the geometry fields are only built in that case.
+fn kernel_span_start(name: &'static str, m: usize, n: usize, k: usize, t: usize) -> Option<dl_obs::SpanId> {
+    with_rec(|r| {
+        if r.enabled() {
+            Some(r.span_start(
+                0,
+                name,
+                fields! { "rows" => m, "cols" => n, "k" => k, "threads" => t },
+            ))
+        } else {
+            None
+        }
+    })
+    .flatten()
+}
+
+/// Closes a span opened by [`kernel_span_start`].
+fn kernel_span_end(span: Option<dl_obs::SpanId>, flops: u64) {
+    if let Some(s) = span {
+        with_rec(move |r| r.span_end(s, fields! { "flops" => flops }));
+    }
+}
+
+// ----------------------------------------------------------------------
+// The persistent worker pool
+// ----------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Workers spawned so far (grows on demand up to `MAX_THREADS - 1`).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Parks on the queue forever, running jobs as they arrive. Jobs never
+/// unwind (the submit path wraps every task in `catch_unwind`), so the
+/// queue mutex cannot be poisoned from here.
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = pool.available.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+/// Ensures at least `needed` workers exist (capped at `MAX_THREADS - 1`;
+/// the calling thread always executes one task itself).
+fn ensure_workers(needed: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().expect("pool spawn count poisoned");
+    while *spawned < needed.min(MAX_THREADS - 1) {
+        *spawned += 1;
+        let name = format!("dl-par-{}", *spawned);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(pool()))
+            .expect("failed to spawn pool worker");
+    }
+}
+
+/// Countdown latch with panic capture: the scoped-execution rendezvous.
+struct Latch {
+    state: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new((count, None)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut s = self.state.lock().expect("latch poisoned");
+        s.0 -= 1;
+        if s.1.is_none() {
+            s.1 = panic; // first panic wins, later ones are dropped
+        }
+        if s.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<Box<dyn Any + Send>> {
+        let mut s = self.state.lock().expect("latch poisoned");
+        while s.0 > 0 {
+            s = self.done.wait(s).expect("latch poisoned");
+        }
+        s.1.take()
+    }
+}
+
+/// Runs every task to completion, the last one on the calling thread and
+/// the rest on pool workers. Blocks until all tasks have finished — even
+/// when one panics — then re-raises the first panic on the caller. This
+/// wait-before-return is what makes handing the pool closures that
+/// borrow the caller's stack sound.
+fn run_tasks(mut tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let Some(own) = tasks.pop() else { return };
+    if tasks.is_empty() {
+        own();
+        return;
+    }
+    ensure_workers(tasks.len());
+    let latch = Arc::new(Latch::new(tasks.len()));
+    let p = pool();
+    {
+        let mut q = p.queue.lock().expect("pool queue poisoned");
+        for task in tasks {
+            let l = Arc::clone(&latch);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(task));
+                l.count_down(r.err());
+            });
+            // SAFETY: only the lifetime is erased. The job borrows stack
+            // data of this frame; run_tasks does not return until the
+            // latch confirms every job has finished running, so the
+            // borrows outlive every use.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            q.push_back(job);
+        }
+    }
+    p.available.notify_all();
+    let own_result = catch_unwind(AssertUnwindSafe(own));
+    let worker_panic = latch.wait();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+    if let Err(payload) = own_result {
+        resume_unwind(payload);
+    }
+}
+
+/// Splits `0..count` into at most `parts` contiguous, near-equal ranges.
+fn ranges(count: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, count.max(1));
+    let chunk = count.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    while lo < count {
+        let hi = usize::min(lo + chunk, count);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    if out.is_empty() {
+        out.push((0, 0));
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Matmul
+// ----------------------------------------------------------------------
+
+/// The shared row-range GEMM: computes `out[lo..hi, :] += A[lo..hi, :] · B`
+/// over a caller-provided slice that holds exactly rows `lo..hi`, with
+/// output columns processed `tile` at a time through a packed panel of
+/// `B`. For every output element the `k` accumulation runs in ascending
+/// index order with the sequential kernel's `a == 0.0` skip, so the
+/// result is bit-identical to [`Tensor::matmul`]'s triple loop. Returns
+/// the number of non-zero `A` elements visited (counted once per
+/// element, on the first tile), the sequential kernel's `nnz`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    lo: usize,
+    hi: usize,
+    k: usize,
+    n: usize,
+    tile: usize,
+) -> u64 {
+    let mut nnz = 0u64;
+    if n == 0 || lo >= hi {
+        return 0;
+    }
+    let mut panel = vec![0.0f32; k * tile.min(n)];
+    let mut j0 = 0usize;
+    let mut first_tile = true;
+    while j0 < n {
+        let tw = tile.min(n - j0);
+        // Pack B[:, j0..j0+tw] into a contiguous [k, tw] panel so the
+        // inner loop streams it regardless of B's row stride.
+        for kk in 0..k {
+            panel[kk * tw..kk * tw + tw].copy_from_slice(&b[kk * n + j0..kk * n + j0 + tw]);
+        }
+        for i in lo..hi {
+            let a_row = &a[i * k..(i + 1) * k];
+            let local = (i - lo) * n + j0;
+            let out_row = &mut out[local..local + tw];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // the sequential kernel's sparse skip
+                }
+                if first_tile {
+                    nnz += 1;
+                }
+                let b_row = &panel[kk * tw..kk * tw + tw];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        first_tile = false;
+        j0 += tw;
+    }
+    nnz
+}
+
+/// Validates matmul operands, returning `(m, k, n)`.
+fn matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    assert_eq!(a.rank(), 2, "matmul left operand must be a matrix");
+    assert_eq!(b.rank(), 2, "matmul right operand must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dimensions differ: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    (m, k, n)
+}
+
+/// Runs the blocked GEMM over `out` split row-wise across the effective
+/// thread count and returns the merged `nnz`. The caller charges acct.
+fn gemm_parallel(a: &Tensor, b: &Tensor, out: &mut [f32], k: usize, n: usize, tile: usize) -> u64 {
+    let m = out.len() / n.max(1);
+    let splits = ranges(m, threads());
+    if splits.len() <= 1 {
+        return gemm_rows(a.data(), b.data(), out, 0, m, k, n, tile);
+    }
+    let mut shares = vec![0u64; splits.len()];
+    {
+        let a_data = a.data();
+        let b_data = b.data();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(splits.len());
+        let mut remaining = out;
+        for (&(lo, hi), share) in splits.iter().zip(shares.iter_mut()) {
+            let (mine, rest) = remaining.split_at_mut((hi - lo) * n);
+            remaining = rest;
+            tasks.push(Box::new(move || {
+                *share = gemm_rows(a_data, b_data, mine, lo, hi, k, n, tile);
+            }));
+        }
+        run_tasks(tasks);
+    }
+    shares.iter().sum()
+}
+
+/// Parallel, cache-blocked matrix multiplication, bit-identical to
+/// [`Tensor::matmul`] and charging the identical [`acct`] cost.
+///
+/// # Panics
+/// Panics when operands are not matrices or inner dimensions differ.
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_blocked(a, b, DEFAULT_TILE_COLS)
+}
+
+/// [`matmul`] with an explicit output-column tile width (clamped to at
+/// least 1). Exposed so E26 can sweep the blocking factor.
+///
+/// # Panics
+/// Panics when operands are not matrices or inner dimensions differ.
+#[must_use]
+pub fn matmul_blocked(a: &Tensor, b: &Tensor, tile_cols: usize) -> Tensor {
+    let (m, k, n) = matmul_dims(a, b);
+    let t = threads().min(m.max(1));
+    let span = kernel_span_start("kernel.matmul", m, n, k, t);
+    let mut out = vec![0.0f32; m * n];
+    let nnz = gemm_parallel(a, b, &mut out, k, n, tile_cols.max(1));
+    let flops = 2 * nnz * n as u64;
+    // One charge on the calling thread with the workers' merged shares —
+    // exactly what the sequential kernel charges.
+    acct::charge(flops, 4 * (m * k + k * n) as u64, 4 * (m * n) as u64);
+    kernel_span_end(span, flops);
+    Tensor::from_vec(out, [m, n]).expect("gemm output length matches by construction")
+}
+
+/// Accumulating matmul: `out += a · b`, in place, without allocating the
+/// product. Each output element starts from its existing value and
+/// accumulates the `k` products in ascending index order (with the
+/// sequential zero-skip), so the result is bit-identical at any thread
+/// count and equals `&out + &a.matmul(b)` up to the addition order — the
+/// accumulated form folds each product directly into `out` instead of
+/// summing into a zeroed temporary first.
+///
+/// Charges `2·nnz·n` FLOPs and counts `out` among the bytes read.
+///
+/// # Panics
+/// Panics when operands are not matrices, inner dimensions differ, or
+/// `out` is not `[m, n]`.
+pub fn matmul_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k, n) = matmul_dims(a, b);
+    assert_eq!(
+        out.dims(),
+        &[m, n],
+        "matmul_acc output must be [{m}, {n}], got {}",
+        out.shape()
+    );
+    let t = threads().min(m.max(1));
+    let span = kernel_span_start("kernel.matmul_acc", m, n, k, t);
+    let nnz = gemm_parallel(a, b, out.data_mut(), k, n, DEFAULT_TILE_COLS);
+    let flops = 2 * nnz * n as u64;
+    acct::charge(flops, 4 * (m * k + k * n + m * n) as u64, 4 * (m * n) as u64);
+    kernel_span_end(span, flops);
+}
+
+// ----------------------------------------------------------------------
+// Convolution lowering
+// ----------------------------------------------------------------------
+
+/// Parallel [`Tensor::im2col`]: splits the channel loop across threads.
+/// Each channel owns a contiguous block of `kh·kw` output rows, so the
+/// writes are disjoint; the kernel copies (no arithmetic), so results
+/// are trivially identical. Charges the sequential kernel's cost.
+///
+/// # Panics
+/// Panics when input is not rank 3 or the geometry yields no output.
+#[must_use]
+pub fn im2col(img: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(img.rank(), 3, "im2col input must be [C, H, W]");
+    let (c, h, w) = (img.dims()[0], img.dims()[1], img.dims()[2]);
+    let out_h = (h + 2 * pad).checked_sub(kh).map(|v| v / stride + 1);
+    let out_w = (w + 2 * pad).checked_sub(kw).map(|v| v / stride + 1);
+    let (out_h, out_w) = match (out_h, out_w) {
+        (Some(a), Some(b)) if a > 0 && b > 0 => (a, b),
+        _ => panic!("im2col: kernel {kh}x{kw} stride {stride} pad {pad} does not fit input {h}x{w}"),
+    };
+    let rows = c * kh * kw;
+    let cols = out_h * out_w;
+    let t = threads().min(c.max(1));
+    let span = kernel_span_start("kernel.im2col", rows, cols, kh * kw, t);
+    let mut out = vec![0.0f32; rows * cols];
+    {
+        let data = img.data();
+        let splits = ranges(c, t);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(splits.len());
+        let mut remaining = out.as_mut_slice();
+        for &(c_lo, c_hi) in &splits {
+            let (mine, rest) = remaining.split_at_mut((c_hi - c_lo) * kh * kw * cols);
+            remaining = rest;
+            tasks.push(Box::new(move || {
+                for ch in c_lo..c_hi {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let row = ((ch - c_lo) * kh + ky) * kw + kx;
+                            for oy in 0..out_h {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                for ox in 0..out_w {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    let col = oy * out_w + ox;
+                                    let v = if iy >= 0
+                                        && iy < h as isize
+                                        && ix >= 0
+                                        && ix < w as isize
+                                    {
+                                        data[(ch * h + iy as usize) * w + ix as usize]
+                                    } else {
+                                        0.0
+                                    };
+                                    mine[row * cols + col] = v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        run_tasks(tasks);
+    }
+    acct::charge(0, 4 * (c * h * w) as u64, 4 * (rows * cols) as u64);
+    kernel_span_end(span, 0);
+    Tensor::from_vec(out, [rows, cols]).expect("im2col output length matches by construction")
+}
+
+/// Parallel [`Tensor::col2im`]: splits the channel loop across threads.
+/// The scatter-adds overlap only *within* a channel, and each worker
+/// replays its channels' `ky/kx/oy/ox` adds in the sequential order, so
+/// the result is bit-identical. Charges the sequential kernel's cost.
+///
+/// # Panics
+/// Panics when `cols` does not have the shape `im2col` would produce.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols_mat: &Tensor,
+    channels: usize,
+    height: usize,
+    width: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let out_h = (height + 2 * pad - kh) / stride + 1;
+    let out_w = (width + 2 * pad - kw) / stride + 1;
+    assert_eq!(
+        cols_mat.dims(),
+        &[channels * kh * kw, out_h * out_w],
+        "col2im input shape {} does not match geometry",
+        cols_mat.shape()
+    );
+    let cols = out_h * out_w;
+    let t = threads().min(channels.max(1));
+    let span = kernel_span_start("kernel.col2im", channels * height, width, kh * kw, t);
+    let mut out = vec![0.0f32; channels * height * width];
+    {
+        let data = cols_mat.data();
+        let splits = ranges(channels, t);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(splits.len());
+        let mut remaining = out.as_mut_slice();
+        for &(c_lo, c_hi) in &splits {
+            let (mine, rest) = remaining.split_at_mut((c_hi - c_lo) * height * width);
+            remaining = rest;
+            tasks.push(Box::new(move || {
+                for ch in c_lo..c_hi {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let row = (ch * kh + ky) * kw + kx;
+                            for oy in 0..out_h {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                for ox in 0..out_w {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy >= 0
+                                        && iy < height as isize
+                                        && ix >= 0
+                                        && ix < width as isize
+                                    {
+                                        let col = oy * out_w + ox;
+                                        mine[((ch - c_lo) * height + iy as usize) * width
+                                            + ix as usize] += data[row * cols + col];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        run_tasks(tasks);
+    }
+    acct::charge(
+        cols_mat.len() as u64,
+        4 * cols_mat.len() as u64,
+        4 * out.len() as u64,
+    );
+    kernel_span_end(span, cols_mat.len() as u64);
+    Tensor::from_vec(out, [channels, height, width])
+        .expect("col2im output length matches by construction")
+}
+
+// ----------------------------------------------------------------------
+// Elementwise map and order-preserving reduction
+// ----------------------------------------------------------------------
+
+/// Parallel [`Tensor::map`]: applies `f` to every element with the flat
+/// buffer split contiguously across threads. `f` is applied to each
+/// element independently, so any split is bit-identical. Charges the
+/// sequential kernel's cost.
+#[must_use]
+pub fn map(t_in: &Tensor, f: impl Fn(f32) -> f32 + Send + Sync) -> Tensor {
+    let len = t_in.len();
+    let t = threads().min(len.max(1));
+    let mut out = vec![0.0f32; len];
+    {
+        let data = t_in.data();
+        let splits = ranges(len, t);
+        let f = &f;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(splits.len());
+        let mut remaining = out.as_mut_slice();
+        for &(lo, hi) in &splits {
+            let (mine, rest) = remaining.split_at_mut(hi - lo);
+            remaining = rest;
+            tasks.push(Box::new(move || {
+                for (o, &x) in mine.iter_mut().zip(&data[lo..hi]) {
+                    *o = f(x);
+                }
+            }));
+        }
+        run_tasks(tasks);
+    }
+    let n = len as u64;
+    acct::charge(n, 4 * n, 4 * n);
+    Tensor::from_vec(out, t_in.shape().clone()).expect("map output length matches input")
+}
+
+/// Parallel [`Tensor::sum_axis`]: the reduction is split over *output*
+/// elements, and each output element accumulates its `mid` addends in
+/// ascending index order — the sequential kernel's order — so the result
+/// is bit-identical. (A full [`Tensor::sum`] cannot be parallelized this
+/// way: it has a single output element whose addition order *is* the
+/// serial order, so it stays sequential.) Charges the sequential
+/// kernel's cost.
+///
+/// # Panics
+/// Panics when `axis >= rank`.
+#[must_use]
+pub fn sum_axis(t_in: &Tensor, axis: usize) -> Tensor {
+    assert!(
+        axis < t_in.rank(),
+        "axis {axis} out of range for {}",
+        t_in.shape()
+    );
+    let dims = t_in.dims();
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let out_len = outer * inner;
+    let t = threads().min(out_len.max(1));
+    let mut out = vec![0.0f32; out_len];
+    {
+        let data = t_in.data();
+        let splits = ranges(out_len, t);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(splits.len());
+        let mut remaining = out.as_mut_slice();
+        for &(lo, hi) in &splits {
+            let (mine, rest) = remaining.split_at_mut(hi - lo);
+            remaining = rest;
+            tasks.push(Box::new(move || {
+                for (off, o) in mine.iter_mut().enumerate() {
+                    let idx = lo + off;
+                    let (ob, i) = (idx / inner.max(1), idx % inner.max(1));
+                    let mut acc = 0.0f32;
+                    for m in 0..mid {
+                        acc += data[(ob * mid + m) * inner + i];
+                    }
+                    *o = acc;
+                }
+            }));
+        }
+        run_tasks(tasks);
+    }
+    acct::charge(
+        t_in.len() as u64,
+        4 * t_in.len() as u64,
+        4 * out_len as u64,
+    );
+    let mut new_dims = dims.to_vec();
+    new_dims.remove(axis);
+    Tensor::from_vec(out, new_dims).expect("sum_axis output length matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use proptest::prelude::*;
+
+    /// A seeded random matrix with ~25% exact zeros so the sparse skip
+    /// (and its nnz accounting) is genuinely exercised.
+    fn sparse_random(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut r = init::rng(seed);
+        let mut t = init::uniform([rows, cols], -1.0, 1.0, &mut r);
+        for (i, v) in t.data_mut().iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *v = 0.0;
+            }
+        }
+        t
+    }
+
+    fn thread_counts() -> Vec<usize> {
+        let mut t = vec![1, 2, hardware_threads().max(3)];
+        t.dedup();
+        t
+    }
+
+    #[test]
+    fn matmul_bitwise_equals_sequential_across_threads_and_tiles() {
+        // The plain-loop version of the proptest below: always executes,
+        // even where the proptest harness is unavailable.
+        let shapes = [
+            (1usize, 7usize, 1usize), // degenerate 1×k·k×1
+            (5, 1, 3),
+            (4, 4, 4),
+            (17, 33, 9),
+            (64, 32, 48),
+            (0, 4, 4), // empty-dim cases
+            (4, 0, 4),
+            (4, 4, 0),
+            (0, 0, 0),
+        ];
+        for (si, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = sparse_random(m, k, 100 + si as u64);
+            let b = sparse_random(k, n, 200 + si as u64);
+            let want = a.matmul(&b);
+            for &t in &thread_counts() {
+                for tile in [1usize, 2, 16, 256] {
+                    let got = with_threads(t, || matmul_blocked(&a, &b, tile));
+                    assert_eq!(
+                        got.data(),
+                        want.data(),
+                        "shape ({m},{k},{n}) threads {t} tile {tile} diverged"
+                    );
+                    assert_eq!(got.dims(), want.dims());
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_bitwise_equals_sequential_proptest(
+            m in 0usize..12,
+            k in 0usize..12,
+            n in 0usize..12,
+            tile in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let a = sparse_random(m, k, seed);
+            let b = sparse_random(k, n, seed.wrapping_add(1));
+            let want = a.matmul(&b);
+            for &t in &thread_counts() {
+                let got = with_threads(t, || matmul_blocked(&a, &b, tile));
+                prop_assert_eq!(got.data(), want.data());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_acc_accumulates_in_place() {
+        let a = sparse_random(6, 5, 7);
+        let b = sparse_random(5, 4, 8);
+        // Sequential reference computed by the same per-element order:
+        // start from the existing value, add products in ascending k.
+        let init_out = sparse_random(6, 4, 9);
+        let mut want = init_out.clone();
+        for i in 0..6 {
+            for kk in 0..5 {
+                let av = a.data()[i * 5 + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..4 {
+                    want.data_mut()[i * 4 + j] += av * b.data()[kk * 4 + j];
+                }
+            }
+        }
+        for &t in &thread_counts() {
+            let mut out = init_out.clone();
+            with_threads(t, || matmul_acc(&a, &b, &mut out));
+            assert_eq!(out.data(), want.data(), "threads {t} diverged");
+        }
+    }
+
+    #[test]
+    fn conv_kernels_bitwise_equal_sequential() {
+        let mut r = init::rng(42);
+        let img = init::uniform([3, 8, 7], -1.0, 1.0, &mut r);
+        let want_cols = img.im2col(3, 2, 2, 1);
+        let grad = init::uniform(want_cols.shape().clone(), -1.0, 1.0, &mut r);
+        let want_img = grad.col2im(3, 8, 7, 3, 2, 2, 1);
+        for &t in &thread_counts() {
+            let (cols, back) = with_threads(t, || {
+                (im2col(&img, 3, 2, 2, 1), col2im(&grad, 3, 8, 7, 3, 2, 2, 1))
+            });
+            assert_eq!(cols.data(), want_cols.data(), "im2col threads {t}");
+            assert_eq!(cols.dims(), want_cols.dims());
+            assert_eq!(back.data(), want_img.data(), "col2im threads {t}");
+            assert_eq!(back.dims(), want_img.dims());
+        }
+    }
+
+    #[test]
+    fn map_and_sum_axis_bitwise_equal_sequential() {
+        let mut r = init::rng(5);
+        let x = init::uniform([7, 11], -2.0, 2.0, &mut r);
+        let want_map = x.map(|v| v * 1.5 - 0.25);
+        let want_rows = x.sum_axis(0);
+        let want_cols = x.sum_axis(1);
+        for &t in &thread_counts() {
+            let (m2, r0, r1) = with_threads(t, || {
+                (
+                    map(&x, |v| v * 1.5 - 0.25),
+                    sum_axis(&x, 0),
+                    sum_axis(&x, 1),
+                )
+            });
+            assert_eq!(m2.data(), want_map.data(), "map threads {t}");
+            assert_eq!(r0.data(), want_rows.data(), "sum_axis(0) threads {t}");
+            assert_eq!(r1.data(), want_cols.data(), "sum_axis(1) threads {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_charges_exactly_the_sequential_cost() {
+        let a = sparse_random(33, 17, 11); // odd sizes => uneven splits
+        let b = sparse_random(17, 29, 12);
+        let (_, seq) = acct::measure(|| a.matmul(&b));
+        for &t in &thread_counts() {
+            let (_, par_cost) = acct::measure(|| with_threads(t, || matmul(&a, &b)));
+            assert_eq!(par_cost, seq, "threads {t}: parallel OpCost diverged");
+        }
+        // The other kernels too.
+        let (_, seq_map) = acct::measure(|| a.map(|v| v + 1.0));
+        let (_, par_map) = acct::measure(|| with_threads(3, || map(&a, |v| v + 1.0)));
+        assert_eq!(par_map, seq_map);
+        let (_, seq_red) = acct::measure(|| a.sum_axis(0));
+        let (_, par_red) = acct::measure(|| with_threads(3, || sum_axis(&a, 0)));
+        assert_eq!(par_red, seq_red);
+    }
+
+    #[test]
+    fn with_threads_scopes_and_restores() {
+        let outer = threads();
+        let inner = with_threads(2, || {
+            assert_eq!(threads(), 2);
+            with_threads(5, threads)
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(threads(), outer);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_all_tasks_finish() {
+        let a = sparse_random(8, 4, 1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+                let data = a.data();
+                for w in 0..4usize {
+                    tasks.push(Box::new(move || {
+                        assert!(w != 2 || data[0].is_nan(), "deliberate test panic");
+                    }));
+                }
+                run_tasks(tasks);
+            });
+        }));
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool must still be serviceable afterwards.
+        let b = sparse_random(4, 6, 2);
+        let got = with_threads(4, || matmul(&a, &b));
+        assert_eq!(got.data(), a.matmul(&b).data());
+    }
+
+    #[test]
+    fn kernel_spans_only_emitted_when_recorder_enabled() {
+        let a = sparse_random(4, 3, 21);
+        let b = sparse_random(3, 5, 22);
+        let rec = dl_obs::TimelineRecorder::new();
+        let traced = with_recorder(&rec, || matmul(&a, &b));
+        assert_eq!(traced.data(), a.matmul(&b).data());
+        let events: Vec<_> = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "kernel.matmul")
+            .cloned()
+            .collect();
+        assert_eq!(events.len(), 2, "one start + one end edge");
+        let rows = events[0]
+            .fields
+            .iter()
+            .find(|(k, _)| k == "rows")
+            .and_then(|(_, v)| v.as_u64());
+        assert_eq!(rows, Some(4));
+        // NullRecorder: enabled() is false, so nothing is recorded and no
+        // Fields are built.
+        let null = dl_obs::NullRecorder::new();
+        let quiet = with_recorder(&null, || matmul(&a, &b));
+        assert_eq!(quiet.data(), traced.data());
+    }
+}
