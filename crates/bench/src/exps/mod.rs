@@ -30,6 +30,7 @@ pub mod e23_observability;
 pub mod e24_profiling;
 pub mod e25_serving;
 pub mod e26_parallel;
+pub mod e27_cluster;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -480,4 +480,82 @@ mod tests {
             to_step: 5,
         }]);
     }
+
+    #[test]
+    fn window_boundaries_are_half_open_for_both_window_kinds() {
+        // `from..to` — the first affected step is exactly `from`, the
+        // first unaffected step is exactly `to`.
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Straggler {
+                worker: 2,
+                slowdown: 5.0,
+                from_step: 10,
+                to_step: 20,
+            },
+            FaultEvent::LinkDegrade {
+                factor: 0.5,
+                from_step: 10,
+                to_step: 20,
+            },
+        ]);
+        assert_eq!(plan.slowdown_at(9, 2), 1.0, "step before the window");
+        assert_eq!(plan.slowdown_at(10, 2), 5.0, "from_step is inclusive");
+        assert_eq!(plan.slowdown_at(19, 2), 5.0, "last covered step");
+        assert_eq!(plan.slowdown_at(20, 2), 1.0, "to_step is exclusive");
+        assert_eq!(plan.link_factor_at(9), 1.0);
+        assert_eq!(plan.link_factor_at(10), 0.5, "from_step is inclusive");
+        assert_eq!(plan.link_factor_at(19), 0.5);
+        assert_eq!(plan.link_factor_at(20), 1.0, "to_step is exclusive");
+    }
+
+    #[test]
+    fn overlapping_straggler_windows_multiply_per_worker() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::Straggler {
+                worker: 0,
+                slowdown: 2.0,
+                from_step: 0,
+                to_step: 10,
+            },
+            FaultEvent::Straggler {
+                worker: 0,
+                slowdown: 3.0,
+                from_step: 5,
+                to_step: 15,
+            },
+            FaultEvent::Straggler {
+                worker: 1,
+                slowdown: 7.0,
+                from_step: 5,
+                to_step: 15,
+            },
+        ]);
+        assert_eq!(plan.slowdown_at(4, 0), 2.0);
+        assert_eq!(plan.slowdown_at(5, 0), 6.0, "overlap multiplies");
+        assert_eq!(plan.slowdown_at(9, 0), 6.0);
+        assert_eq!(plan.slowdown_at(10, 0), 3.0, "first window expired");
+        assert_eq!(plan.slowdown_at(5, 1), 7.0, "other workers unaffected");
+        assert_eq!(plan.slowdown_at(5, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade episode must be non-empty")]
+    fn zero_length_degrade_window_rejected() {
+        FaultPlan::new(vec![FaultEvent::LinkDegrade {
+            factor: 0.5,
+            from_step: 7,
+            to_step: 7,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler episode must be non-empty")]
+    fn zero_length_straggler_window_rejected() {
+        FaultPlan::new(vec![FaultEvent::Straggler {
+            worker: 0,
+            slowdown: 2.0,
+            from_step: 7,
+            to_step: 7,
+        }]);
+    }
 }

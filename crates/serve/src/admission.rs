@@ -31,6 +31,7 @@ pub enum AdmissionPolicy {
 
 /// What the controller decided for one arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "an unexamined decision silently drops the shed/downgrade outcome"]
 pub enum Decision {
     /// Enqueue on the requested variant.
     Accept(usize),
@@ -93,7 +94,6 @@ impl AdmissionContext<'_> {
 /// descending accuracy order among variants meeting the accuracy floor
 /// (the requested variant first when tied), and the first whose predicted
 /// delay fits inside `headroom * p99_slo_s` wins; nothing fits → shed.
-#[must_use]
 pub fn admit(policy: &AdmissionPolicy, ctx: &AdmissionContext<'_>, target: usize) -> Decision {
     match *policy {
         AdmissionPolicy::AcceptAll => Decision::Accept(target),

@@ -1,0 +1,959 @@
+//! Replicated serving behind a deterministic router, with chaos.
+//!
+//! N [`ReplicaEngine`]s — each the full single-node event loop state
+//! (its own queues, batcher, admission controller) — share one simulated
+//! timeline on the recorder's `VirtualClock`. A [`Router`] spreads
+//! arrivals; `dl_distributed::FaultPlan` injects replica crashes
+//! (in-flight and queued requests lost, or re-routed under a bounded
+//! [`RetryPolicy`] with an optional hedged duplicate), MTTR-driven
+//! rejoins with cold-queue warmup, degraded links that inflate dispatch
+//! latency through `link_factor_at`, and stragglers that stretch a
+//! replica's service time through `slowdown_at`. An optional reactive
+//! [`Autoscaler`] resizes the fleet from the observed arrival rate and
+//! the family's measured cost tables.
+//!
+//! Everything is event-ordered and seeded, so a cluster run is
+//! byte-identical across reruns — and a fault-free one-replica cluster
+//! is bit-identical (report and latency histogram) to single-node
+//! [`crate::serve`], which the regression test below pins.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dl_distributed::FaultPlan;
+use dl_nn::Dataset;
+use dl_obs::{fields, Recorder};
+
+use crate::autoscale::{replica_capacity_rps, AutoscaleConfig, Autoscaler};
+use crate::engine::{assemble_report, ReplicaEngine, ServeConfig};
+use crate::load::Request;
+use crate::report::ServeReport;
+use crate::router::{Router, RouterPolicy};
+use crate::variant::VariantRegistry;
+
+/// What happens to requests a crashed replica was holding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How many times one request may be re-routed after crash loss
+    /// before it counts as lost (0 = fire and forget).
+    pub max_retries: usize,
+    /// When set, every request gets a hedged duplicate dispatched to a
+    /// *different* replica if it has not completed this many seconds
+    /// after first dispatch; the first completion wins, the loser's work
+    /// is wasted but harmless.
+    pub hedge_delay_s: Option<f64>,
+}
+
+impl RetryPolicy {
+    /// No retries, no hedging: crash losses are final.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            hedge_delay_s: None,
+        }
+    }
+
+    /// Bounded re-routing after crash loss.
+    #[must_use]
+    pub fn retries(max_retries: usize) -> Self {
+        RetryPolicy {
+            max_retries,
+            hedge_delay_s: None,
+        }
+    }
+
+    /// Bounded retries plus a hedged duplicate after `delay_s`.
+    ///
+    /// # Panics
+    /// Panics when the hedge delay is not positive-finite.
+    #[must_use]
+    pub fn hedged(max_retries: usize, delay_s: f64) -> Self {
+        assert!(
+            delay_s.is_finite() && delay_s > 0.0,
+            "hedge delay must be positive, got {delay_s}"
+        );
+        RetryPolicy {
+            max_retries,
+            hedge_delay_s: Some(delay_s),
+        }
+    }
+}
+
+/// One cluster run's configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Initial replica count (fault-plan worker ids address these).
+    pub replicas: usize,
+    /// Per-replica serving configuration (batcher, admission, device).
+    pub engine: ServeConfig,
+    /// How arrivals spread across replicas.
+    pub router: RouterPolicy,
+    /// Crash-loss handling.
+    pub retry: RetryPolicy,
+    /// The chaos schedule, in step time.
+    pub faults: FaultPlan,
+    /// Simulated seconds per fault-plan step (maps `at_step` to the
+    /// serving timeline).
+    pub seconds_per_step: f64,
+    /// Base router→replica dispatch latency; inflated by
+    /// `1 / link_factor_at(step)` while links are degraded. Zero means
+    /// arrivals reach their replica instantly (the single-node-identical
+    /// default).
+    pub dispatch_s: f64,
+    /// Cold-queue warmup window after a rejoin or scale-up activation.
+    pub warmup_s: f64,
+    /// Service-time multiplier (>= 1) while a replica is warming up.
+    pub warmup_factor: f64,
+    /// Reactive fleet sizing; `None` keeps `replicas` fixed.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl ClusterConfig {
+    /// A fault-free fixed-size cluster: round-robin routing, no retries,
+    /// instant dispatch, no warmup, no autoscaling.
+    ///
+    /// # Panics
+    /// Panics when `replicas` is zero.
+    #[must_use]
+    pub fn new(replicas: usize, engine: ServeConfig) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        ClusterConfig {
+            replicas,
+            engine,
+            router: RouterPolicy::RoundRobin,
+            retry: RetryPolicy::none(),
+            faults: FaultPlan::none(),
+            seconds_per_step: 1.0,
+            dispatch_s: 0.0,
+            warmup_s: 0.0,
+            warmup_factor: 1.0,
+            autoscale: None,
+        }
+    }
+}
+
+/// Per-replica accounting over one cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct ReplicaReport {
+    /// Replica id (initial replicas first, autoscaled ones after).
+    pub replica: usize,
+    /// Requests this replica answered (first completions only).
+    pub served: usize,
+    /// Batches it flushed.
+    pub batches: usize,
+    /// Completions discarded because another replica answered first.
+    pub wasted: usize,
+    /// Crash events it suffered.
+    pub crashes: usize,
+    /// Rejoin events it saw.
+    pub rejoins: usize,
+}
+
+/// One autoscaler decision, for reaction-time analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleEvent {
+    /// Decision time, simulated seconds.
+    pub at_s: f64,
+    /// Provisioned fleet size the decision targets (activations may
+    /// still be in their provisioning delay).
+    pub target: usize,
+}
+
+/// The measured outcome of one cluster run.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
+pub struct ClusterReport {
+    /// Aggregate serving metrics across all replicas (latencies measured
+    /// from original arrival, so crash-retried requests carry their lost
+    /// time into the tail).
+    pub serve: ServeReport,
+    /// Per-replica breakdown.
+    pub per_replica: Vec<ReplicaReport>,
+    /// Requests lost to crashes after retries ran out (or no replica was
+    /// up to retry on).
+    pub lost: usize,
+    /// Arrivals that found no routable replica.
+    pub unavailable: usize,
+    /// Crash-loss re-routes performed.
+    pub retried: usize,
+    /// Hedged duplicates dispatched.
+    pub hedged: usize,
+    /// Total crash events applied.
+    pub crashes: usize,
+    /// Total rejoin events applied.
+    pub rejoins: usize,
+    /// Largest provisioned fleet size reached.
+    pub peak_replicas: usize,
+    /// Provisioned (non-retired) replicas at the end of the run.
+    pub final_replicas: usize,
+    /// Autoscaler decisions, in time order.
+    pub scale_events: Vec<ScaleEvent>,
+}
+
+impl ClusterReport {
+    /// Fraction of offered requests that got no answer: admission sheds,
+    /// routing unavailability and crash losses combined.
+    #[must_use]
+    pub fn failure_fraction(&self) -> f64 {
+        if self.serve.offered == 0 {
+            return 0.0;
+        }
+        (self.serve.shed + self.unavailable + self.lost) as f64 / self.serve.offered as f64
+    }
+}
+
+/// A request in transit to a replica (delayed dispatch).
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    at_s: f64,
+    seq: u64,
+    replica: usize,
+    req: Request,
+}
+
+/// A pending hedge timer for one request id.
+#[derive(Debug, Clone, Copy)]
+struct HedgeTimer {
+    at_s: f64,
+    seq: u64,
+    id: u64,
+}
+
+macro_rules! time_ordered {
+    ($ty:ty) => {
+        impl PartialEq for $ty {
+            fn eq(&self, other: &Self) -> bool {
+                self.at_s.total_cmp(&other.at_s).is_eq() && self.seq == other.seq
+            }
+        }
+        impl Eq for $ty {}
+        impl PartialOrd for $ty {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for $ty {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.at_s
+                    .total_cmp(&other.at_s)
+                    .then(self.seq.cmp(&other.seq))
+            }
+        }
+    };
+}
+time_ordered!(Delivery);
+time_ordered!(HedgeTimer);
+
+struct Replica {
+    engine: ReplicaEngine,
+    up: bool,
+    retired: bool,
+    draining: bool,
+    warm_until_s: f64,
+    crashes: usize,
+    rejoins: usize,
+}
+
+/// Serves `requests` (sorted by arrival, ids dense from 0) on a
+/// replicated cluster under `cfg`'s chaos schedule.
+///
+/// # Panics
+/// Panics when request ids are not the dense `0..requests.len()` range
+/// the open-loop generators produce (per-request retry/hedge state is
+/// indexed by id).
+pub fn serve_cluster(
+    registry: &mut VariantRegistry,
+    data: &Dataset,
+    requests: &[Request],
+    cfg: &ClusterConfig,
+    rec: &dyn Recorder,
+) -> ClusterReport {
+    assert!(cfg.replicas > 0, "need at least one replica");
+    assert!(
+        cfg.seconds_per_step > 0.0 && cfg.seconds_per_step.is_finite(),
+        "seconds_per_step must be positive"
+    );
+    assert!(cfg.warmup_factor >= 1.0, "warmup factor must be >= 1");
+    let n = requests.len();
+    for (i, r) in requests.iter().enumerate() {
+        assert!(r.id == i as u64, "request ids must be dense 0..n");
+    }
+    let n_variants = registry.variants.len() as u32;
+    let step_of = |t_s: f64| (t_s / cfg.seconds_per_step) as usize;
+
+    let mut replicas: Vec<Replica> = (0..cfg.replicas)
+        .map(|r| Replica {
+            engine: ReplicaEngine::new(registry, &cfg.engine, r as u32 * n_variants),
+            up: true,
+            retired: false,
+            draining: false,
+            warm_until_s: 0.0,
+            crashes: 0,
+            rejoins: 0,
+        })
+        .collect();
+    let mut router = Router::new(cfg.router);
+    let mut autoscaler = cfg.autoscale.clone().map(Autoscaler::new);
+    let capacity_rps = registry
+        .index_of(&cfg.engine.primary)
+        .map(|p| replica_capacity_rps(&cfg.engine.device, &registry.variants[p]))
+        .unwrap_or(0.0);
+
+    // Membership fault schedule mapped onto the serving timeline.
+    let membership: Vec<(f64, usize, bool)> = cfg
+        .faults
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            dl_distributed::FaultEvent::WorkerCrash { worker, at_step } => {
+                Some((at_step as f64 * cfg.seconds_per_step, worker, true))
+            }
+            dl_distributed::FaultEvent::WorkerRejoin { worker, at_step } => {
+                Some((at_step as f64 * cfg.seconds_per_step, worker, false))
+            }
+            _ => None,
+        })
+        .collect();
+    let mut fault_idx = 0usize;
+
+    // Per-request cluster state, indexed by dense id.
+    let mut completed = vec![false; n];
+    let mut attempts = vec![0u32; n];
+    let mut home = vec![usize::MAX; n];
+
+    let mut deliveries: BinaryHeap<Reverse<Delivery>> = BinaryHeap::new();
+    let mut hedges: BinaryHeap<Reverse<HedgeTimer>> = BinaryHeap::new();
+    let mut activations: Vec<f64> = Vec::new();
+    let mut seq = 0u64;
+
+    let mut lost = 0usize;
+    let mut unavailable = 0usize;
+    let mut retried = 0usize;
+    let mut hedged = 0usize;
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let mut peak = cfg.replicas;
+
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // ---- next event time -------------------------------------------
+        let drain = next_arrival >= n && deliveries.is_empty();
+        let work_remains = next_arrival < n
+            || !deliveries.is_empty()
+            || replicas.iter().any(|r| !r.retired && r.engine.load() > 0);
+        let mut t_next = f64::INFINITY;
+        for r in replicas.iter().filter(|r| !r.retired && r.up) {
+            if let Some(t) = r.engine.next_completion_s() {
+                t_next = t_next.min(t);
+            }
+            if let Some(t) = r.engine.next_flush_deadline_s(&cfg.engine.batch, now, drain) {
+                t_next = t_next.min(t);
+            }
+        }
+        if next_arrival < n {
+            t_next = t_next.min(requests[next_arrival].arrival_s);
+        }
+        if let Some(Reverse(d)) = deliveries.peek() {
+            t_next = t_next.min(d.at_s);
+        }
+        if let Some(Reverse(h)) = hedges.peek() {
+            t_next = t_next.min(h.at_s);
+        }
+        if fault_idx < membership.len() && work_remains {
+            t_next = t_next.min(membership[fault_idx].0);
+        }
+        if work_remains {
+            for &t in &activations {
+                t_next = t_next.min(t);
+            }
+            if let Some(a) = &autoscaler {
+                t_next = t_next.min(a.next_eval_s());
+            }
+        }
+        if t_next.is_infinite() {
+            break;
+        }
+        now = now.max(t_next);
+        rec.clock().set(now);
+
+        // ---- 1: completion (earliest due batch, lowest replica) --------
+        let due = replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.retired && r.up)
+            .filter_map(|(i, r)| r.engine.next_completion_s().map(|t| (t, i)))
+            .filter(|&(t, _)| t <= now)
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if let Some((_, i)) = due {
+            let done = replicas[i]
+                .engine
+                .try_complete(now, rec, &mut |req: &Request| {
+                    let id = req.id as usize;
+                    if completed[id] {
+                        false
+                    } else {
+                        completed[id] = true;
+                        true
+                    }
+                });
+            debug_assert!(done, "selected completion must fire");
+            retire_if_drained(&mut replicas, i);
+            continue;
+        }
+
+        // ---- 2: membership fault events --------------------------------
+        if fault_idx < membership.len() && membership[fault_idx].0 <= now {
+            let (_, worker, is_crash) = membership[fault_idx];
+            fault_idx += 1;
+            if let Some(r) = replicas.get_mut(worker) {
+                if is_crash && !r.retired && r.up {
+                    r.up = false;
+                    r.crashes += 1;
+                    rec.add_counter("cluster.crash", 1);
+                    rec.instant(
+                        worker as u32 * n_variants,
+                        "cluster.crash",
+                        fields! { "replica" => worker },
+                    );
+                    let dropped = r.engine.crash_drain(rec);
+                    for req in dropped {
+                        let id = req.id as usize;
+                        if completed[id] {
+                            continue;
+                        }
+                        if (attempts[id] as usize) < cfg.retry.max_retries {
+                            attempts[id] += 1;
+                            match dispatch(
+                                req, None, now, cfg, &mut router, &mut replicas, registry,
+                                &mut deliveries, &mut seq, &mut home, rec,
+                            ) {
+                                true => {
+                                    retried += 1;
+                                    rec.add_counter("cluster.retried", 1);
+                                }
+                                false => {
+                                    lost += 1;
+                                    rec.add_counter("cluster.lost", 1);
+                                }
+                            }
+                        } else {
+                            lost += 1;
+                            rec.add_counter("cluster.lost", 1);
+                        }
+                    }
+                    retire_if_drained(&mut replicas, worker);
+                } else if !is_crash && !r.retired && !r.up {
+                    r.up = true;
+                    r.rejoins += 1;
+                    r.warm_until_s = now + cfg.warmup_s;
+                    rec.add_counter("cluster.rejoin", 1);
+                    rec.instant(
+                        worker as u32 * n_variants,
+                        "cluster.rejoin",
+                        fields! { "replica" => worker },
+                    );
+                }
+            }
+            continue;
+        }
+
+        // ---- 3: scale-up activations ----------------------------------
+        if let Some(pos) = activations.iter().position(|&t| t <= now) {
+            activations.swap_remove(pos);
+            let idx = replicas.len();
+            replicas.push(Replica {
+                engine: ReplicaEngine::new(registry, &cfg.engine, idx as u32 * n_variants),
+                up: true,
+                retired: false,
+                draining: false,
+                warm_until_s: now + cfg.warmup_s,
+                crashes: 0,
+                rejoins: 0,
+            });
+            peak = peak.max(provisioned(&replicas) + activations.len());
+            rec.instant(
+                idx as u32 * n_variants,
+                "cluster.scale_up",
+                fields! { "replica" => idx },
+            );
+            continue;
+        }
+
+        // ---- 4: deliveries (dispatched arrivals reaching replicas) -----
+        if deliveries.peek().is_some_and(|Reverse(d)| d.at_s <= now) {
+            let Reverse(d) = deliveries.pop().expect("peeked");
+            let id = d.req.id as usize;
+            if completed[id] {
+                continue; // hedge twin already answered
+            }
+            let target = &mut replicas[d.replica];
+            if target.retired || !target.up {
+                // The replica died while the request was in flight.
+                if (attempts[id] as usize) < cfg.retry.max_retries {
+                    attempts[id] += 1;
+                    if dispatch(
+                        d.req, Some(d.replica), now, cfg, &mut router, &mut replicas, registry,
+                        &mut deliveries, &mut seq, &mut home, rec,
+                    ) {
+                        retried += 1;
+                        rec.add_counter("cluster.retried", 1);
+                    } else {
+                        lost += 1;
+                        rec.add_counter("cluster.lost", 1);
+                    }
+                } else {
+                    lost += 1;
+                    rec.add_counter("cluster.lost", 1);
+                }
+            } else {
+                let _ = target
+                    .engine
+                    .admit_arrival(d.req, registry, &cfg.engine, now, rec);
+            }
+            continue;
+        }
+
+        // ---- 5: hedge timers -------------------------------------------
+        if hedges.peek().is_some_and(|Reverse(h)| h.at_s <= now) {
+            let Reverse(h) = hedges.pop().expect("peeked");
+            let id = h.id as usize;
+            if !completed[id]
+                && dispatch(
+                    requests[id], Some(home[id]), now, cfg, &mut router, &mut replicas, registry,
+                    &mut deliveries, &mut seq, &mut home, rec,
+                )
+            {
+                hedged += 1;
+                rec.add_counter("cluster.hedged", 1);
+            }
+            continue;
+        }
+
+        // ---- 6: arrivals ------------------------------------------------
+        if next_arrival < n && requests[next_arrival].arrival_s <= now {
+            let req = requests[next_arrival];
+            next_arrival += 1;
+            if let Some(a) = &mut autoscaler {
+                a.observe_arrival(req.arrival_s);
+            }
+            if dispatch(
+                req, None, now, cfg, &mut router, &mut replicas, registry, &mut deliveries,
+                &mut seq, &mut home, rec,
+            ) {
+                if let Some(delay) = cfg.retry.hedge_delay_s {
+                    hedges.push(Reverse(HedgeTimer {
+                        at_s: now + delay,
+                        seq,
+                        id: req.id,
+                    }));
+                    seq += 1;
+                }
+            } else {
+                unavailable += 1;
+                rec.add_counter("cluster.unavailable", 1);
+            }
+            continue;
+        }
+
+        // ---- 7: autoscaler evaluation ----------------------------------
+        if work_remains {
+            if let Some(a) = &mut autoscaler {
+                if a.next_eval_s() <= now {
+                    let desired = a.evaluate(now, capacity_rps);
+                    let current = provisioned(&replicas) + activations.len();
+                    if desired > current {
+                        let delay = a.config().provision_delay_s;
+                        for _ in current..desired {
+                            activations.push(now + delay);
+                        }
+                        peak = peak.max(desired);
+                        scale_events.push(ScaleEvent {
+                            at_s: now,
+                            target: desired,
+                        });
+                        rec.add_counter("cluster.scale_up", (desired - current) as u64);
+                    } else if desired < current {
+                        let mut excess = current - desired;
+                        // Cancel still-provisioning replicas first, then
+                        // drain the highest-index live ones.
+                        while excess > 0 && !activations.is_empty() {
+                            activations.pop();
+                            excess -= 1;
+                        }
+                        for i in (0..replicas.len()).rev() {
+                            if excess == 0 {
+                                break;
+                            }
+                            let r = &mut replicas[i];
+                            if !r.retired && !r.draining {
+                                r.draining = true;
+                                excess -= 1;
+                                rec.instant(
+                                    i as u32 * n_variants,
+                                    "cluster.scale_down",
+                                    fields! { "replica" => i },
+                                );
+                            }
+                        }
+                        scale_events.push(ScaleEvent {
+                            at_s: now,
+                            target: desired,
+                        });
+                        rec.add_counter("cluster.scale_down", 1);
+                        for i in 0..replicas.len() {
+                            retire_if_drained(&mut replicas, i);
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // ---- 8: flushes -------------------------------------------------
+        for (i, r) in replicas.iter_mut().enumerate() {
+            if !r.up || r.retired {
+                continue;
+            }
+            let warm = if now < r.warm_until_s {
+                cfg.warmup_factor
+            } else {
+                1.0
+            };
+            let factor = warm * cfg.faults.slowdown_at(step_of(now), i);
+            let _ = r
+                .engine
+                .try_flush(registry, data, &cfg.engine, now, drain, factor, rec);
+        }
+    }
+
+    // ---- report ---------------------------------------------------------
+    let crashes: usize = replicas.iter().map(|r| r.crashes).sum();
+    let rejoins: usize = replicas.iter().map(|r| r.rejoins).sum();
+    let final_replicas = provisioned(&replicas);
+    let meta: Vec<(usize, usize)> = replicas.iter().map(|r| (r.crashes, r.rejoins)).collect();
+    let parts: Vec<_> = replicas.into_iter().map(|r| r.engine.into_parts()).collect();
+    let per_replica: Vec<ReplicaReport> = parts
+        .iter()
+        .zip(&meta)
+        .enumerate()
+        .map(|(i, (p, &(c, j)))| ReplicaReport {
+            replica: i,
+            served: p.stats.iter().map(|s| s.served).sum(),
+            batches: p.stats.iter().map(|s| s.batches).sum(),
+            wasted: p.wasted,
+            crashes: c,
+            rejoins: j,
+        })
+        .collect();
+    ClusterReport {
+        serve: assemble_report(n, parts),
+        per_replica,
+        lost,
+        unavailable,
+        retried,
+        hedged,
+        crashes,
+        rejoins,
+        peak_replicas: peak,
+        final_replicas,
+        scale_events,
+    }
+}
+
+/// Provisioned (non-retired) replica count.
+fn provisioned(replicas: &[Replica]) -> usize {
+    replicas.iter().filter(|r| !r.retired).count()
+}
+
+/// Retires a draining replica once it has no work left (a crashed
+/// draining replica was already drained by the crash).
+fn retire_if_drained(replicas: &mut [Replica], i: usize) {
+    let r = &mut replicas[i];
+    if r.draining && !r.retired && r.engine.is_idle() {
+        r.retired = true;
+    }
+}
+
+/// Routes `req` to an eligible replica (optionally excluding one) and
+/// either admits it instantly (zero dispatch latency) or schedules a
+/// delivery inflated by the current link factor. Returns false when no
+/// replica is eligible.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    req: Request,
+    exclude: Option<usize>,
+    now: f64,
+    cfg: &ClusterConfig,
+    router: &mut Router,
+    replicas: &mut [Replica],
+    registry: &VariantRegistry,
+    deliveries: &mut BinaryHeap<Reverse<Delivery>>,
+    seq: &mut u64,
+    home: &mut [usize],
+    rec: &dyn Recorder,
+) -> bool {
+    let loads: Vec<usize> = replicas.iter().map(|r| r.engine.load()).collect();
+    let candidates: Vec<usize> = replicas
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| r.up && !r.retired && !r.draining && Some(*i) != exclude)
+        .map(|(i, _)| i)
+        .collect();
+    let Some(target) = router.route(&candidates, &loads) else {
+        return false;
+    };
+    home[req.id as usize] = target;
+    let delay = if cfg.dispatch_s > 0.0 {
+        let step = (now / cfg.seconds_per_step) as usize;
+        cfg.dispatch_s / cfg.faults.link_factor_at(step)
+    } else {
+        0.0
+    };
+    if delay > 0.0 {
+        deliveries.push(Reverse(Delivery {
+            at_s: now + delay,
+            seq: *seq,
+            replica: target,
+            req,
+        }));
+        *seq += 1;
+    } else {
+        let _ = replicas[target]
+            .engine
+            .admit_arrival(req, registry, &cfg.engine, now, rec);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::batcher::BatchPolicy;
+    use crate::device::DeviceModel;
+    use crate::engine::serve;
+    use crate::load::{open_loop, LoadConfig};
+    use crate::variant::{build_family, FamilyConfig};
+    use dl_distributed::FaultProfile;
+    use dl_obs::{NullRecorder, TimelineRecorder};
+
+    fn family_and_data() -> (VariantRegistry, Dataset) {
+        let data = dl_data::blobs(120, 3, 8, 6.0, 0.5, 70);
+        let eval = dl_data::blobs(80, 3, 8, 6.0, 0.5, 71);
+        let reg = build_family(
+            &data,
+            &eval,
+            &FamilyConfig {
+                teacher_dims: vec![8, 24, 3],
+                student_hidden: vec![6],
+                prune_sparsity: 0.7,
+                morph_budget: 150,
+                ensemble_members: 2,
+                max_batch: 16,
+                epochs: 9,
+                seed: 80,
+            },
+        );
+        (reg, eval)
+    }
+
+    fn base_cfg() -> ServeConfig {
+        ServeConfig {
+            batch: BatchPolicy::dynamic(16, 5e-6),
+            admission: AdmissionPolicy::AcceptAll,
+            primary: "fp32-base".into(),
+            device: DeviceModel::nominal(),
+        }
+    }
+
+    fn load(rate: f64, n: usize, seed: u64, rows: usize) -> Vec<Request> {
+        open_loop(
+            &LoadConfig {
+                rate_rps: rate,
+                requests: n,
+                seed,
+            },
+            rows,
+        )
+    }
+
+    #[test]
+    fn one_replica_fault_free_is_bit_identical_to_single_node() {
+        let (mut reg, eval) = family_and_data();
+        let reqs = load(200_000.0, 500, 21, eval.x.dims()[0]);
+        let single_rec = TimelineRecorder::new();
+        let single = serve(&mut reg, &eval, &reqs, &base_cfg(), &single_rec);
+        let cluster_rec = TimelineRecorder::new();
+        let cluster = serve_cluster(
+            &mut reg,
+            &eval,
+            &reqs,
+            &ClusterConfig::new(1, base_cfg()),
+            &cluster_rec,
+        );
+        assert_eq!(cluster.serve, single, "aggregate report must match exactly");
+        assert_eq!(
+            cluster_rec.histogram("serve.latency_s"),
+            single_rec.histogram("serve.latency_s"),
+            "latency histograms must be bit-identical"
+        );
+        assert_eq!(cluster_rec.events(), single_rec.events(), "full timelines match");
+        assert_eq!(cluster.lost + cluster.unavailable + cluster.retried, 0);
+        assert_eq!(cluster.per_replica.len(), 1);
+        assert_eq!(cluster.per_replica[0].wasted, 0);
+    }
+
+    #[test]
+    fn crashes_lose_work_without_retries_and_recover_with_them() {
+        let (mut reg, eval) = family_and_data();
+        let reqs = load(400_000.0, 800, 22, eval.x.dims()[0]);
+        let horizon_s = reqs.last().unwrap().arrival_s * 1.5;
+        let seconds_per_step = horizon_s / 64.0;
+        let faults = FaultPlan::from_profile(&FaultProfile::crashes(5, 12.0, 6.0), 3, 64);
+        assert!(faults.crash_count() >= 2, "profile must schedule crashes");
+        let mk = |retry: RetryPolicy| ClusterConfig {
+            retry,
+            faults: faults.clone(),
+            seconds_per_step,
+            warmup_s: seconds_per_step,
+            warmup_factor: 2.0,
+            ..ClusterConfig::new(3, base_cfg())
+        };
+        let lossy = serve_cluster(&mut reg, &eval, &reqs, &mk(RetryPolicy::none()), &NullRecorder::new());
+        assert!(lossy.crashes >= 2, "crashes must apply: {}", lossy.crashes);
+        assert!(lossy.lost > 0, "fire-and-forget must lose crash work");
+        assert_eq!(lossy.retried, 0);
+        let retrying =
+            serve_cluster(&mut reg, &eval, &reqs, &mk(RetryPolicy::retries(3)), &NullRecorder::new());
+        assert!(retrying.retried > 0, "retries must fire");
+        assert!(
+            retrying.lost < lossy.lost,
+            "retries must recover work: {} vs {}",
+            retrying.lost,
+            lossy.lost
+        );
+        assert!(
+            retrying.serve.served > lossy.serve.served,
+            "recovered work is served"
+        );
+        // Conservation: every offered request is accounted for.
+        for r in [&lossy, &retrying] {
+            assert_eq!(
+                r.serve.served + r.serve.shed + r.lost + r.unavailable,
+                r.serve.offered,
+                "requests must be conserved"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic_for_every_router() {
+        let (mut reg, eval) = family_and_data();
+        let reqs = load(400_000.0, 400, 23, eval.x.dims()[0]);
+        let horizon_s = reqs.last().unwrap().arrival_s * 1.5;
+        let faults = FaultPlan::from_profile(&FaultProfile::crashes(9, 20.0, 8.0), 3, 64);
+        for router in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::PowerOfTwoChoices { seed: 7 },
+        ] {
+            let cfg = ClusterConfig {
+                router,
+                retry: RetryPolicy::hedged(2, 3e-5),
+                faults: faults.clone(),
+                seconds_per_step: horizon_s / 64.0,
+                dispatch_s: 1e-6,
+                ..ClusterConfig::new(3, base_cfg())
+            };
+            let a = serve_cluster(&mut reg, &eval, &reqs, &cfg, &NullRecorder::new());
+            let b = serve_cluster(&mut reg, &eval, &reqs, &cfg, &NullRecorder::new());
+            assert_eq!(a, b, "router {router:?} must be deterministic");
+            let rec = TimelineRecorder::new();
+            let traced = serve_cluster(&mut reg, &eval, &reqs, &cfg, &rec);
+            assert_eq!(a, traced, "tracing must not change the result");
+        }
+    }
+
+    #[test]
+    fn hedging_dispatches_duplicates_and_dedups_completions() {
+        let (mut reg, eval) = family_and_data();
+        let reqs = load(300_000.0, 400, 24, eval.x.dims()[0]);
+        // A straggling replica 0 makes primary dispatches slow enough for
+        // hedges to fire and win on other replicas.
+        let faults = FaultPlan::new(vec![dl_distributed::FaultEvent::Straggler {
+            worker: 0,
+            slowdown: 50.0,
+            from_step: 0,
+            to_step: 64,
+        }]);
+        let horizon_s = reqs.last().unwrap().arrival_s * 1.5;
+        let cfg = ClusterConfig {
+            retry: RetryPolicy::hedged(1, 2e-5),
+            faults,
+            seconds_per_step: horizon_s / 64.0,
+            ..ClusterConfig::new(2, base_cfg())
+        };
+        let r = serve_cluster(&mut reg, &eval, &reqs, &cfg, &NullRecorder::new());
+        assert!(r.hedged > 0, "hedges must fire against a straggler");
+        let wasted: usize = r.per_replica.iter().map(|p| p.wasted).sum();
+        assert!(wasted > 0, "losing twins are wasted, not double-counted");
+        assert_eq!(
+            r.serve.served + r.serve.shed + r.lost + r.unavailable,
+            r.serve.offered
+        );
+        assert!(r.serve.served <= r.serve.offered, "dedup holds");
+    }
+
+    #[test]
+    fn autoscaler_grows_fleet_under_load_and_drains_it_after() {
+        let (mut reg, eval) = family_and_data();
+        let device = DeviceModel::nominal();
+        let cap = {
+            let v = &reg.variants[0];
+            replica_capacity_rps(&device, v)
+        };
+        let reqs = load(3.0 * cap, 1500, 25, eval.x.dims()[0]);
+        let horizon_s = reqs.last().unwrap().arrival_s;
+        let cfg = ClusterConfig {
+            autoscale: Some(AutoscaleConfig::new(
+                horizon_s / 50.0,
+                horizon_s / 25.0,
+                0.7,
+                1,
+                6,
+                horizon_s / 100.0,
+            )),
+            warmup_s: horizon_s / 200.0,
+            warmup_factor: 1.5,
+            ..ClusterConfig::new(1, base_cfg())
+        };
+        let r = serve_cluster(&mut reg, &eval, &reqs, &cfg, &NullRecorder::new());
+        assert!(
+            r.peak_replicas > 1,
+            "3x one replica's capacity must scale up: peak {}",
+            r.peak_replicas
+        );
+        assert!(!r.scale_events.is_empty());
+        assert_eq!(r.serve.served + r.serve.shed + r.lost + r.unavailable, r.serve.offered);
+        assert_eq!(r.lost, 0, "no crashes, nothing lost");
+        // Fixed 4-replica fleet at the same load: the autoscaled run's
+        // tail should be in the same regime as over-provisioning, far
+        // from the melted single-replica tail.
+        let melted = serve_cluster(
+            &mut reg,
+            &eval,
+            &reqs,
+            &ClusterConfig::new(1, base_cfg()),
+            &NullRecorder::new(),
+        );
+        assert!(
+            r.serve.p99_s < melted.serve.p99_s,
+            "autoscaling must beat the melted single replica: {} vs {}",
+            r.serve.p99_s,
+            melted.serve.p99_s
+        );
+    }
+}

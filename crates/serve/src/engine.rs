@@ -8,6 +8,13 @@
 //! [`DeviceModel`]. All state advances in event order on plain `f64`
 //! simulated seconds mirrored into the recorder's `VirtualClock`, so a
 //! seeded run is byte-identical every time, traced or not.
+//!
+//! Since the cluster tier arrived, the per-device state machine lives in
+//! [`ReplicaEngine`]: a steppable unit the single-node [`serve`] loop
+//! drives directly and `dl_serve::cluster` replicates N times behind a
+//! router. Both drivers call the same handlers in the same priority
+//! order (completion → arrival → flush), so a fault-free one-replica
+//! cluster is bit-identical to single-node serving.
 
 use std::collections::VecDeque;
 
@@ -39,220 +46,377 @@ struct InFlight {
     variant: usize,
     done_s: f64,
     span: dl_obs::SpanId,
-    arrivals: Vec<f64>,
-    correct: usize,
-    downgraded: usize,
+    requests: Vec<Request>,
+    correct: Vec<bool>,
+    downgraded: Vec<bool>,
 }
 
-/// Serves `requests` (sorted by arrival time) against the family.
-///
-/// Observability: per-batch spans on the variant's track, `serve.shed` /
-/// `serve.downgrade` instants, `serve.{served,shed,downgraded}` counters
-/// and a `serve.latency_s` histogram — all through `rec`, so a
-/// `NullRecorder` run does no collection work and returns a bit-identical
-/// report (the clock still advances; it is shared simulation state).
-///
-/// # Panics
-/// Panics when the primary variant is unknown or a request's sample index
-/// is out of range for `data`.
-pub fn serve(
-    registry: &mut VariantRegistry,
-    data: &Dataset,
-    requests: &[Request],
-    cfg: &ServeConfig,
-    rec: &dyn Recorder,
-) -> ServeReport {
-    let primary = registry
-        .index_of(&cfg.primary)
-        .unwrap_or_else(|| panic!("unknown primary variant {:?}", cfg.primary));
-    let n_variants = registry.variants.len();
-    let mut queues: Vec<VecDeque<Request>> = vec![VecDeque::new(); n_variants];
-    let mut stats: Vec<VariantServeStats> = registry
-        .variants
-        .iter()
-        .map(|v| VariantServeStats {
-            name: v.name.clone(),
-            served: 0,
-            batches: 0,
-            correct: 0,
-        })
-        .collect();
+/// Everything one replica accumulated, handed back at the end of a run.
+#[must_use]
+pub struct ReplicaParts {
+    /// Per-variant traffic accounting, registry order.
+    pub stats: Vec<VariantServeStats>,
+    /// Response latencies in completion order.
+    pub latencies: Vec<f64>,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests answered by a cheaper variant than requested.
+    pub downgraded: usize,
+    /// Completions discarded because another replica answered first
+    /// (hedged duplicates); always zero single-node.
+    pub wasted: usize,
+    /// Earliest arrival this replica saw (`INFINITY` when none).
+    pub first_arrival_s: f64,
+    /// Latest batch completion (0 when none).
+    pub last_completion_s: f64,
+}
 
-    let mut now = 0.0f64;
-    let mut next_arrival = 0usize;
-    let mut in_flight: Option<InFlight> = None;
-    let mut latencies: Vec<f64> = Vec::with_capacity(requests.len());
-    let mut downgraded_pending: Vec<VecDeque<bool>> = vec![VecDeque::new(); n_variants];
+/// One steppable serving device: per-variant queues, at most one batch in
+/// flight, all timing in simulated seconds.
+///
+/// The engine never advances time itself — a driver computes the next
+/// event time from [`ReplicaEngine::next_completion_s`] /
+/// [`ReplicaEngine::next_flush_deadline_s`] (plus its own arrival
+/// schedule), then invokes the matching handler. This is what makes the
+/// same state machine serve both the single-node loop and the replicated
+/// cluster tier.
+pub struct ReplicaEngine {
+    track_base: u32,
+    primary: usize,
+    queues: Vec<VecDeque<Request>>,
+    downgraded_pending: Vec<VecDeque<bool>>,
+    in_flight: Option<InFlight>,
+    stats: Vec<VariantServeStats>,
+    latencies: Vec<f64>,
+    shed: usize,
+    downgraded: usize,
+    wasted: usize,
+    first_arrival: f64,
+    last_completion: f64,
+}
+
+impl ReplicaEngine {
+    /// A fresh, idle replica. `track_base` offsets the dl-obs track ids
+    /// this replica emits on (replica `r` of an `n`-variant family uses
+    /// tracks `r * n .. (r + 1) * n`, so single-node serving — base 0 —
+    /// keeps its historical track layout).
+    ///
+    /// # Panics
+    /// Panics when the configured primary variant is unknown.
+    pub fn new(registry: &VariantRegistry, cfg: &ServeConfig, track_base: u32) -> Self {
+        let primary = registry
+            .index_of(&cfg.primary)
+            .unwrap_or_else(|| panic!("unknown primary variant {:?}", cfg.primary));
+        let n_variants = registry.variants.len();
+        ReplicaEngine {
+            track_base,
+            primary,
+            queues: vec![VecDeque::new(); n_variants],
+            downgraded_pending: vec![VecDeque::new(); n_variants],
+            in_flight: None,
+            stats: registry
+                .variants
+                .iter()
+                .map(|v| VariantServeStats {
+                    name: v.name.clone(),
+                    served: 0,
+                    batches: 0,
+                    correct: 0,
+                })
+                .collect(),
+            latencies: Vec::new(),
+            shed: 0,
+            downgraded: 0,
+            wasted: 0,
+            first_arrival: f64::INFINITY,
+            last_completion: 0.0,
+        }
+    }
+
+    /// When the in-flight batch (if any) completes.
+    #[must_use]
+    pub fn next_completion_s(&self) -> Option<f64> {
+        self.in_flight.as_ref().map(|fl| fl.done_s)
+    }
+
+    /// The earliest time a queue could flush on its own: `None` while a
+    /// batch is in flight or every queue is empty. Under `drain` (no
+    /// future arrivals can top a batch up) waiting is pointless, so any
+    /// non-empty queue is due at `now_s`.
+    #[must_use]
+    pub fn next_flush_deadline_s(&self, batch: &BatchPolicy, now_s: f64, drain: bool) -> Option<f64> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        let mut t = f64::INFINITY;
+        for q in &self.queues {
+            if let Some(head) = q.front() {
+                let deadline = batch
+                    .next_deadline(q.len(), head.arrival_s)
+                    .expect("non-empty queue has a deadline");
+                t = t.min(if drain { now_s } else { deadline });
+            }
+        }
+        (t < f64::INFINITY).then_some(t)
+    }
+
+    /// Queued plus in-flight requests — the router's load signal.
+    #[must_use]
+    pub fn load(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + self.in_flight.as_ref().map_or(0, |fl| fl.requests.len())
+    }
+
+    /// True when nothing is queued or executing.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none() && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Completes the in-flight batch if it is due at `now_s`. `fresh`
+    /// decides per request whether this completion counts (the cluster's
+    /// hedging dedup; single-node passes `|_| true`). Returns whether a
+    /// completion happened.
+    pub fn try_complete(
+        &mut self,
+        now_s: f64,
+        rec: &dyn Recorder,
+        fresh: &mut dyn FnMut(&Request) -> bool,
+    ) -> bool {
+        match &self.in_flight {
+            Some(fl) if fl.done_s <= now_s => {}
+            _ => return false,
+        }
+        let fl = self.in_flight.take().expect("checked above");
+        let b = fl.requests.len();
+        let mut served = 0usize;
+        let mut correct = 0usize;
+        let mut downgrades = 0usize;
+        for (i, req) in fl.requests.iter().enumerate() {
+            if !fresh(req) {
+                self.wasted += 1;
+                continue;
+            }
+            served += 1;
+            let latency = fl.done_s - req.arrival_s;
+            self.latencies.push(latency);
+            rec.observe("serve.latency_s", latency);
+            if fl.correct[i] {
+                correct += 1;
+            }
+            if fl.downgraded[i] {
+                downgrades += 1;
+            }
+        }
+        self.stats[fl.variant].served += served;
+        self.stats[fl.variant].batches += 1;
+        self.stats[fl.variant].correct += correct;
+        self.downgraded += downgrades;
+        rec.add_counter("serve.served", served as u64);
+        rec.add_counter("serve.downgraded", downgrades as u64);
+        rec.span_end(fl.span, fields! { "batch" => b });
+        self.last_completion = self.last_completion.max(fl.done_s);
+        true
+    }
+
+    /// Runs one arrival through admission control and enqueues (or sheds)
+    /// it. Returns the controller's decision.
+    pub fn admit_arrival(
+        &mut self,
+        req: Request,
+        registry: &VariantRegistry,
+        cfg: &ServeConfig,
+        now_s: f64,
+        rec: &dyn Recorder,
+    ) -> Decision {
+        self.first_arrival = self.first_arrival.min(req.arrival_s);
+        let queue_lens: Vec<usize> = self.queues.iter().map(VecDeque::len).collect();
+        let busy_remaining_s = self
+            .in_flight
+            .as_ref()
+            .map_or(0.0, |fl| (fl.done_s - now_s).max(0.0));
+        let ctx = AdmissionContext {
+            registry,
+            device: &cfg.device,
+            batch: &cfg.batch,
+            queue_lens: &queue_lens,
+            busy_remaining_s,
+        };
+        let decision = admit(&cfg.admission, &ctx, self.primary);
+        match decision {
+            Decision::Accept(v) => {
+                self.queues[v].push_back(req);
+                self.downgraded_pending[v].push_back(false);
+            }
+            Decision::Downgrade { from, to } => {
+                self.queues[to].push_back(req);
+                self.downgraded_pending[to].push_back(true);
+                rec.instant(
+                    self.track_base + to as u32,
+                    "serve.downgrade",
+                    fields! {
+                        "request" => req.id,
+                        "from" => registry.variants[from].name.clone(),
+                        "to" => registry.variants[to].name.clone(),
+                    },
+                );
+            }
+            Decision::Shed => {
+                self.shed += 1;
+                rec.add_counter("serve.shed", 1);
+                rec.instant(
+                    self.track_base + self.primary as u32,
+                    "serve.shed",
+                    fields! { "request" => req.id },
+                );
+            }
+        }
+        decision
+    }
+
+    /// Flushes the readiest queue into an in-flight batch if the device is
+    /// idle and some queue is due at `now_s`. `service_factor` scales the
+    /// batch's simulated duration (cold-start warmup, stragglers; 1.0
+    /// nominal). Returns whether a batch launched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_flush(
+        &mut self,
+        registry: &mut VariantRegistry,
+        data: &Dataset,
+        cfg: &ServeConfig,
+        now_s: f64,
+        drain: bool,
+        service_factor: f64,
+        rec: &dyn Recorder,
+    ) -> bool {
+        if self.in_flight.is_some() {
+            return false;
+        }
+        // Oldest head wins; ties break on the lower variant index.
+        let n_variants = self.queues.len();
+        let ready = (0..n_variants)
+            .filter(|&v| {
+                self.queues[v].front().is_some_and(|head| {
+                    cfg.batch
+                        .ready(self.queues[v].len(), head.arrival_s, now_s, drain)
+                })
+            })
+            .min_by(|&a, &b| {
+                self.queues[a]
+                    .front()
+                    .expect("ready implies non-empty")
+                    .arrival_s
+                    .total_cmp(
+                        &self.queues[b]
+                            .front()
+                            .expect("ready implies non-empty")
+                            .arrival_s,
+                    )
+            });
+        let Some(v) = ready else { return false };
+        let b = self.queues[v].len().min(cfg.batch.max_batch);
+        let mut requests = Vec::with_capacity(b);
+        let mut samples = Vec::with_capacity(b);
+        let mut downgraded = Vec::with_capacity(b);
+        for _ in 0..b {
+            let r = self.queues[v].pop_front().expect("len checked");
+            samples.push(r.sample);
+            requests.push(r);
+            downgraded.push(self.downgraded_pending[v].pop_front().expect("tracks queue"));
+        }
+        // The real batched forward: one [B, d] eval-mode pass, fanned
+        // across the kernel pool only when the batch's measured cost
+        // amortizes the per-thread launch overhead (small batches stay
+        // sequential). The parallel kernels are bit-identical, so neither
+        // answers nor simulated time depend on the thread count.
+        let cost = *registry.variants[v].cost_at(b);
+        let threads = cfg.device.threads_for(&cost, dl_tensor::par::threads());
+        let xb = data.x.select_rows(&samples);
+        let variant = &mut registry.variants[v];
+        let preds = dl_tensor::par::with_threads(threads, || variant.model.predict(&xb));
+        let correct: Vec<bool> = preds
+            .iter()
+            .zip(&samples)
+            .map(|(p, &s)| *p == data.y[s])
+            .collect();
+        let dur = cfg.device.service_time(&cost) * service_factor;
+        let span = rec.span_start(
+            self.track_base + v as u32,
+            "serve.batch",
+            fields! {
+                "variant" => registry.variants[v].name.clone(),
+                "batch" => b,
+            },
+        );
+        self.in_flight = Some(InFlight {
+            variant: v,
+            done_s: now_s + dur,
+            span,
+            requests,
+            correct,
+            downgraded,
+        });
+        true
+    }
+
+    /// Crash-stops the replica: the in-flight batch is abandoned (its span
+    /// ends marked `crashed`) and every queue empties. Returns the lost
+    /// requests — in-flight first, then queued in variant order — for the
+    /// cluster's retry policy to re-route or discard.
+    pub fn crash_drain(&mut self, rec: &dyn Recorder) -> Vec<Request> {
+        let mut lost = Vec::new();
+        if let Some(fl) = self.in_flight.take() {
+            rec.span_end(fl.span, fields! { "batch" => fl.requests.len(), "crashed" => true });
+            lost.extend(fl.requests);
+        }
+        for (q, flags) in self.queues.iter_mut().zip(&mut self.downgraded_pending) {
+            lost.extend(q.drain(..));
+            flags.clear();
+        }
+        lost
+    }
+
+    /// Consumes the replica, yielding its accumulated accounting.
+    pub fn into_parts(self) -> ReplicaParts {
+        ReplicaParts {
+            stats: self.stats,
+            latencies: self.latencies,
+            shed: self.shed,
+            downgraded: self.downgraded,
+            wasted: self.wasted,
+            first_arrival_s: self.first_arrival,
+            last_completion_s: self.last_completion,
+        }
+    }
+}
+
+/// Aggregates one or more replicas' [`ReplicaParts`] into a
+/// [`ServeReport`]. Latencies concatenate in replica order (percentiles
+/// sort internally, so the order only fixes the f64 summation order —
+/// deterministically).
+pub(crate) fn assemble_report(offered: usize, parts: Vec<ReplicaParts>) -> ServeReport {
+    let mut stats: Vec<VariantServeStats> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
     let mut shed = 0usize;
     let mut downgraded = 0usize;
     let mut first_arrival = f64::INFINITY;
     let mut last_completion = 0.0f64;
-
-    loop {
-        // ---- next event time -------------------------------------------
-        let drain = next_arrival >= requests.len();
-        let mut t_next = f64::INFINITY;
-        if let Some(fl) = &in_flight {
-            t_next = t_next.min(fl.done_s);
-        }
-        if !drain {
-            t_next = t_next.min(requests[next_arrival].arrival_s);
-        }
-        if in_flight.is_none() {
-            for q in &queues {
-                if let Some(head) = q.front() {
-                    let deadline = cfg
-                        .batch
-                        .next_deadline(q.len(), head.arrival_s)
-                        .expect("non-empty queue has a deadline");
-                    // Draining: nothing can top the batch up, go now.
-                    t_next = t_next.min(if drain { now } else { deadline });
-                }
+    for p in parts {
+        if stats.is_empty() {
+            stats = p.stats;
+        } else {
+            for (agg, s) in stats.iter_mut().zip(p.stats) {
+                agg.served += s.served;
+                agg.batches += s.batches;
+                agg.correct += s.correct;
             }
         }
-        if t_next.is_infinite() {
-            break;
-        }
-        now = now.max(t_next);
-        rec.clock().set(now);
-
-        // ---- 1: completion ---------------------------------------------
-        if let Some(fl) = &in_flight {
-            if fl.done_s <= now {
-                let fl = in_flight.take().expect("checked above");
-                for &arrival in &fl.arrivals {
-                    let latency = fl.done_s - arrival;
-                    latencies.push(latency);
-                    rec.observe("serve.latency_s", latency);
-                }
-                let b = fl.arrivals.len();
-                stats[fl.variant].served += b;
-                stats[fl.variant].batches += 1;
-                stats[fl.variant].correct += fl.correct;
-                downgraded += fl.downgraded;
-                rec.add_counter("serve.served", b as u64);
-                rec.add_counter("serve.downgraded", fl.downgraded as u64);
-                rec.span_end(fl.span, fields! { "batch" => b });
-                last_completion = last_completion.max(fl.done_s);
-                continue;
-            }
-        }
-
-        // ---- 2: arrival ------------------------------------------------
-        if !drain && requests[next_arrival].arrival_s <= now {
-            let req = requests[next_arrival];
-            next_arrival += 1;
-            first_arrival = first_arrival.min(req.arrival_s);
-            let queue_lens: Vec<usize> = queues.iter().map(VecDeque::len).collect();
-            let busy_remaining_s = in_flight
-                .as_ref()
-                .map_or(0.0, |fl| (fl.done_s - now).max(0.0));
-            let ctx = AdmissionContext {
-                registry,
-                device: &cfg.device,
-                batch: &cfg.batch,
-                queue_lens: &queue_lens,
-                busy_remaining_s,
-            };
-            match admit(&cfg.admission, &ctx, primary) {
-                Decision::Accept(v) => {
-                    queues[v].push_back(req);
-                    downgraded_pending[v].push_back(false);
-                }
-                Decision::Downgrade { from, to } => {
-                    queues[to].push_back(req);
-                    downgraded_pending[to].push_back(true);
-                    rec.instant(
-                        to as u32,
-                        "serve.downgrade",
-                        fields! {
-                            "request" => req.id,
-                            "from" => registry.variants[from].name.clone(),
-                            "to" => registry.variants[to].name.clone(),
-                        },
-                    );
-                }
-                Decision::Shed => {
-                    shed += 1;
-                    rec.add_counter("serve.shed", 1);
-                    rec.instant(
-                        primary as u32,
-                        "serve.shed",
-                        fields! { "request" => req.id },
-                    );
-                }
-            }
-            continue;
-        }
-
-        // ---- 3: flush --------------------------------------------------
-        if in_flight.is_none() {
-            // Oldest head wins; ties break on the lower variant index.
-            let ready = (0..n_variants)
-                .filter(|&v| {
-                    queues[v].front().is_some_and(|head| {
-                        cfg.batch.ready(queues[v].len(), head.arrival_s, now, drain)
-                    })
-                })
-                .min_by(|&a, &b| {
-                    queues[a]
-                        .front()
-                        .expect("ready implies non-empty")
-                        .arrival_s
-                        .total_cmp(&queues[b].front().expect("ready implies non-empty").arrival_s)
-                });
-            if let Some(v) = ready {
-                let b = queues[v].len().min(cfg.batch.max_batch);
-                let mut samples = Vec::with_capacity(b);
-                let mut arrivals = Vec::with_capacity(b);
-                let mut batch_downgrades = 0usize;
-                for _ in 0..b {
-                    let r = queues[v].pop_front().expect("len checked");
-                    samples.push(r.sample);
-                    arrivals.push(r.arrival_s);
-                    if downgraded_pending[v].pop_front().expect("tracks queue") {
-                        batch_downgrades += 1;
-                    }
-                }
-                // The real batched forward: one [B, d] eval-mode pass,
-                // fanned across the kernel pool only when the batch's
-                // measured cost amortizes the per-thread launch overhead
-                // (small batches stay sequential). The parallel kernels
-                // are bit-identical, so neither answers nor simulated
-                // time depend on the thread count.
-                let cost = *registry.variants[v].cost_at(b);
-                let threads = cfg.device.threads_for(&cost, dl_tensor::par::threads());
-                let xb = data.x.select_rows(&samples);
-                let variant = &mut registry.variants[v];
-                let preds =
-                    dl_tensor::par::with_threads(threads, || variant.model.predict(&xb));
-                let correct = preds
-                    .iter()
-                    .zip(&samples)
-                    .filter(|(p, &s)| **p == data.y[s])
-                    .count();
-                let dur = cfg.device.service_time(&cost);
-                let span = rec.span_start(
-                    v as u32,
-                    "serve.batch",
-                    fields! {
-                        "variant" => registry.variants[v].name.clone(),
-                        "batch" => b,
-                    },
-                );
-                in_flight = Some(InFlight {
-                    variant: v,
-                    done_s: now + dur,
-                    span,
-                    arrivals,
-                    correct,
-                    downgraded: batch_downgrades,
-                });
-            }
-        }
+        latencies.extend(p.latencies);
+        shed += p.shed;
+        downgraded += p.downgraded;
+        first_arrival = first_arrival.min(p.first_arrival_s);
+        last_completion = last_completion.max(p.last_completion_s);
     }
-
-    // ---- report ---------------------------------------------------------
     let served: usize = stats.iter().map(|s| s.served).sum();
     let correct: usize = stats.iter().map(|s| s.correct).sum();
     let batches: usize = stats.iter().map(|s| s.batches).sum();
@@ -262,7 +426,7 @@ pub fn serve(
         last_completion - first_arrival.min(last_completion)
     };
     ServeReport {
-        offered: requests.len(),
+        offered,
         served,
         shed,
         downgraded,
@@ -292,6 +456,67 @@ pub fn serve(
         },
         per_variant: stats,
     }
+}
+
+/// Serves `requests` (sorted by arrival time) against the family.
+///
+/// Observability: per-batch spans on the variant's track, `serve.shed` /
+/// `serve.downgrade` instants, `serve.{served,shed,downgraded}` counters
+/// and a `serve.latency_s` histogram — all through `rec`, so a
+/// `NullRecorder` run does no collection work and returns a bit-identical
+/// report (the clock still advances; it is shared simulation state).
+///
+/// # Panics
+/// Panics when the primary variant is unknown or a request's sample index
+/// is out of range for `data`.
+pub fn serve(
+    registry: &mut VariantRegistry,
+    data: &Dataset,
+    requests: &[Request],
+    cfg: &ServeConfig,
+    rec: &dyn Recorder,
+) -> ServeReport {
+    let mut engine = ReplicaEngine::new(registry, cfg, 0);
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // ---- next event time -------------------------------------------
+        let drain = next_arrival >= requests.len();
+        let mut t_next = f64::INFINITY;
+        if let Some(t) = engine.next_completion_s() {
+            t_next = t_next.min(t);
+        }
+        if !drain {
+            t_next = t_next.min(requests[next_arrival].arrival_s);
+        }
+        if let Some(t) = engine.next_flush_deadline_s(&cfg.batch, now, drain) {
+            t_next = t_next.min(t);
+        }
+        if t_next.is_infinite() {
+            break;
+        }
+        now = now.max(t_next);
+        rec.clock().set(now);
+
+        // ---- 1: completion ---------------------------------------------
+        if engine.try_complete(now, rec, &mut |_| true) {
+            continue;
+        }
+
+        // ---- 2: arrival ------------------------------------------------
+        if !drain && requests[next_arrival].arrival_s <= now {
+            let req = requests[next_arrival];
+            next_arrival += 1;
+            let _ = engine.admit_arrival(req, registry, cfg, now, rec);
+            continue;
+        }
+
+        // ---- 3: flush --------------------------------------------------
+        engine.try_flush(registry, data, cfg, now, drain, 1.0, rec);
+    }
+
+    assemble_report(requests.len(), vec![engine.into_parts()])
 }
 
 #[cfg(test)]

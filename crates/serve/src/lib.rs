@@ -22,23 +22,42 @@
 //!    latency histogram through any `Recorder`, bit-identical under
 //!    `NullRecorder`.
 //!
+//! 5. **Cluster tier** ([`serve_cluster`]): N [`engine::ReplicaEngine`]s
+//!    behind a deterministic [`Router`] (round-robin, least-loaded,
+//!    power-of-two-choices) on one shared clock, chaos-tested through
+//!    `dl_distributed::FaultPlan` — replica crashes with bounded
+//!    [`RetryPolicy`] re-routing and hedged duplicates, MTTR rejoins with
+//!    cold-queue warmup, degraded links inflating dispatch latency,
+//!    per-replica stragglers — plus a reactive [`Autoscaler`] sizing the
+//!    fleet from the observed arrival rate and the family's measured
+//!    cost tables. A fault-free one-replica cluster is bit-identical to
+//!    single-node [`serve`] (regression-tested).
+//!
 //! The cost-model-driven variant choice follows SystemML's optimizer
 //! philosophy (pick the execution plan by a cost model, here measured
 //! rather than estimated); the deploy-stage focus follows *Engineering
 //! Reliable Deep Learning Systems*.
 
 pub mod admission;
+pub mod autoscale;
 pub mod batcher;
+pub mod cluster;
 pub mod device;
 pub mod engine;
 pub mod load;
 pub mod report;
+pub mod router;
 pub mod variant;
 
 pub use admission::{admit, AdmissionContext, AdmissionPolicy, Decision};
+pub use autoscale::{replica_capacity_rps, AutoscaleConfig, Autoscaler};
 pub use batcher::BatchPolicy;
+pub use cluster::{
+    serve_cluster, ClusterConfig, ClusterReport, ReplicaReport, RetryPolicy, ScaleEvent,
+};
 pub use device::DeviceModel;
 pub use engine::{serve, ServeConfig};
-pub use load::{open_loop, LoadConfig, Request};
+pub use load::{bursty, open_loop, BurstConfig, LoadConfig, Request};
 pub use report::{percentile, ServeReport, VariantServeStats};
+pub use router::{Router, RouterPolicy};
 pub use variant::{build_family, FamilyConfig, Variant, VariantModel, VariantRegistry};

@@ -91,7 +91,11 @@ impl ToFields for ServeReport {
     }
 }
 
-/// Exact nearest-rank percentile of unsorted latencies (0 when empty).
+/// Exact nearest-rank percentile of unsorted latencies.
+///
+/// An empty slice returns `0.0` by convention — a report with no
+/// completions has no tail, and 0 keeps downstream metric tables finite
+/// instead of poisoning them with NaN. `q` is clamped to `[0, 1]`.
 #[must_use]
 pub fn percentile(latencies: &[f64], q: f64) -> f64 {
     if latencies.is_empty() {
@@ -119,6 +123,23 @@ mod tests {
         let mut shuffled = v.clone();
         shuffled.reverse();
         assert_eq!(percentile(&shuffled, 0.99), 99.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: documented 0.0 convention, at every quantile.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[], q), 0.0);
+        }
+        // Single element: every quantile is that element.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.25], q), 7.25);
+        }
+        // q = 1.0 is the maximum, q out of range clamps.
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 1.0), 3.0);
+        assert_eq!(percentile(&v, 2.0), 3.0);
+        assert_eq!(percentile(&v, -1.0), 1.0);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Deterministic request routing across replicas.
+//!
+//! The cluster tier hands every arrival to a [`Router`], which picks one
+//! replica from the currently-eligible set (up, activated, not
+//! draining). All three policies are fully deterministic: round-robin
+//! keeps a cursor, least-loaded breaks ties on the lower replica index,
+//! and power-of-two-choices draws its two candidates from a seeded
+//! `StdRng` owned by the router, so a seeded cluster run routes
+//! identically every time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the cluster spreads arrivals across replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Cycle through eligible replicas in index order.
+    RoundRobin,
+    /// Pick the eligible replica with the fewest queued + in-flight
+    /// requests; ties break on the lower index.
+    LeastLoaded,
+    /// Sample two distinct eligible replicas from a seeded stream and
+    /// keep the less loaded — the classic load-balancing compromise
+    /// between RR's obliviousness and least-loaded's global scan.
+    PowerOfTwoChoices {
+        /// Seed for the router's private candidate-sampling stream.
+        seed: u64,
+    },
+}
+
+/// Routing state for one cluster run.
+#[derive(Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    cursor: usize,
+    rng: Option<StdRng>,
+}
+
+impl Router {
+    /// A fresh router for the given policy.
+    #[must_use]
+    pub fn new(policy: RouterPolicy) -> Self {
+        let rng = match policy {
+            RouterPolicy::PowerOfTwoChoices { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Router {
+            policy,
+            cursor: 0,
+            rng,
+        }
+    }
+
+    /// Picks a replica from `candidates` (eligible replica ids, ascending)
+    /// given `loads` indexed by replica id. Returns `None` when no replica
+    /// is eligible. The round-robin cursor and the power-of-two RNG
+    /// advance on every successful pick, never on an empty set.
+    pub fn route(&mut self, candidates: &[usize], loads: &[usize]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = match self.policy {
+            RouterPolicy::RoundRobin => {
+                let pick = candidates[self.cursor % candidates.len()];
+                self.cursor = self.cursor.wrapping_add(1);
+                pick
+            }
+            RouterPolicy::LeastLoaded => *candidates
+                .iter()
+                .min_by_key(|&&c| (loads[c], c))
+                .expect("non-empty"),
+            RouterPolicy::PowerOfTwoChoices { .. } => {
+                let rng = self.rng.as_mut().expect("p2c router has an rng");
+                if candidates.len() == 1 {
+                    candidates[0]
+                } else {
+                    let i = rng.gen_range(0..candidates.len());
+                    let mut j = rng.gen_range(0..candidates.len() - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let (a, b) = (candidates[i], candidates[j]);
+                    if (loads[a], a) <= (loads[b], b) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        };
+        Some(pick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_eligible_set() {
+        let mut r = Router::new(RouterPolicy::RoundRobin);
+        let loads = [0usize; 4];
+        let picks: Vec<_> = (0..6)
+            .map(|_| r.route(&[0, 2, 3], &loads).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+        assert_eq!(r.route(&[], &loads), None);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low_index() {
+        let mut r = Router::new(RouterPolicy::LeastLoaded);
+        assert_eq!(r.route(&[0, 1, 2], &[5, 2, 2]), Some(1));
+        assert_eq!(r.route(&[0, 1, 2], &[1, 1, 1]), Some(0));
+        assert_eq!(r.route(&[2], &[9, 9, 7]), Some(2));
+    }
+
+    #[test]
+    fn power_of_two_is_seed_deterministic_and_load_aware() {
+        let loads = [10usize, 0, 10, 10];
+        let run = |seed| {
+            let mut r = Router::new(RouterPolicy::PowerOfTwoChoices { seed });
+            (0..64)
+                .map(|_| r.route(&[0, 1, 2, 3], &loads).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9), "same seed, same routing");
+        assert_ne!(run(9), run(10), "different seeds explore differently");
+        // The idle replica wins every comparison it appears in, so it
+        // must take a clear majority of picks.
+        let to_idle = run(9).iter().filter(|&&p| p == 1).count();
+        assert!(to_idle > 24, "idle replica only got {to_idle}/64 picks");
+        // Single candidate: no draw consumed, still deterministic.
+        let mut r = Router::new(RouterPolicy::PowerOfTwoChoices { seed: 3 });
+        assert_eq!(r.route(&[2], &loads), Some(2));
+    }
+}

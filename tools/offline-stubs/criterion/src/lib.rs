@@ -1,0 +1,173 @@
+//! Offline criterion API stub: benchmarks compile and, when invoked, run
+//! each body a handful of times and print a coarse wall-clock figure. No
+//! statistics, warm-up, or reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.iters = ITERS;
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut f: F,
+    ) {
+        const ITERS: u64 = 3;
+        let mut elapsed = 0u128;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            elapsed += start.elapsed().as_nanos();
+        }
+        self.iters = ITERS;
+        self.elapsed_ns = elapsed;
+    }
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+fn run_one(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let per_iter = if b.iters > 0 {
+        b.elapsed_ns / u128::from(b.iters)
+    } else {
+        0
+    };
+    println!("bench {label}: ~{per_iter} ns/iter ({} iters)", b.iters);
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

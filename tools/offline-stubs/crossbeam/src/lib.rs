@@ -1,0 +1,56 @@
+//! Offline crossbeam API stub: scoped threads delegated to
+//! `std::thread::scope` (available since Rust 1.63), preserving the
+//! crossbeam 0.8 call shape (`scope` returns a `Result`, spawn closures
+//! receive a `&Scope` argument).
+
+pub mod thread {
+    use std::marker::PhantomData;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _env: PhantomData<&'env ()>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    f(&Scope {
+                        inner,
+                        _env: PhantomData,
+                    })
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Panics from unjoined children propagate as panics
+    /// (std semantics), so the `Ok` wrapper is unconditional.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                _env: PhantomData,
+            })
+        }))
+    }
+}

@@ -1,0 +1,646 @@
+//! Offline API-compatible reimplementation of the `rand` 0.8 surface this
+//! workspace uses. The numeric streams are bit-for-bit faithful to
+//! rand 0.8.5 + rand_chacha 0.3 (StdRng = ChaCha12, rand_core 0.6
+//! `seed_from_u64` and `BlockRng` semantics, the 0.8.5 `Standard` and
+//! uniform-sampling algorithms), which the committed experiment baselines
+//! depend on.
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// rand_core 0.6: PCG32-style fill of the seed buffer in 4-byte
+    /// little-endian chunks.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside range [0.0, 1.0]");
+        // rand 0.8 Bernoulli: p scaled into 64 bits (with the p == 1.0
+        // always-true special case).
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u64 << 63) as f64 * 2.0) as u64;
+        self.next_u64() < p_int
+    }
+
+    fn fill<T: AsMut<[u8]>>(&mut self, dest: &mut T) {
+        self.fill_bytes(dest.as_mut());
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    const BUF_WORDS: usize = 64; // four 16-word ChaCha blocks per refill
+
+    /// `StdRng` faithful to rand 0.8: ChaCha12 with a 64-bit block counter
+    /// and 64-bit stream id, buffered four blocks at a time through
+    /// rand_core's `BlockRng` index discipline.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        stream: u64,
+        results: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    #[inline(always)]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn generate(&mut self) {
+            for block in 0..4u64 {
+                let counter = self.counter.wrapping_add(block);
+                let mut x = [0u32; 16];
+                x[..4].copy_from_slice(&CHACHA_CONSTANTS);
+                x[4..12].copy_from_slice(&self.key);
+                x[12] = counter as u32;
+                x[13] = (counter >> 32) as u32;
+                x[14] = self.stream as u32;
+                x[15] = (self.stream >> 32) as u32;
+                let input = x;
+                for _ in 0..6 {
+                    // one double round (column + diagonal); 6 of them = ChaCha12
+                    quarter_round(&mut x, 0, 4, 8, 12);
+                    quarter_round(&mut x, 1, 5, 9, 13);
+                    quarter_round(&mut x, 2, 6, 10, 14);
+                    quarter_round(&mut x, 3, 7, 11, 15);
+                    quarter_round(&mut x, 0, 5, 10, 15);
+                    quarter_round(&mut x, 1, 6, 11, 12);
+                    quarter_round(&mut x, 2, 7, 8, 13);
+                    quarter_round(&mut x, 3, 4, 9, 14);
+                }
+                for (i, out) in x.iter().enumerate() {
+                    self.results[block as usize * 16 + i] = out.wrapping_add(input[i]);
+                }
+            }
+            self.counter = self.counter.wrapping_add(4);
+        }
+
+        fn generate_and_set(&mut self, index: usize) {
+            self.generate();
+            self.index = index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, w) in key.iter_mut().enumerate() {
+                *w = u32::from_le_bytes([
+                    seed[4 * i],
+                    seed[4 * i + 1],
+                    seed[4 * i + 2],
+                    seed[4 * i + 3],
+                ]);
+            }
+            StdRng {
+                key,
+                counter: 0,
+                stream: 0,
+                results: [0u32; BUF_WORDS],
+                index: BUF_WORDS, // empty buffer: first use triggers generate
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.results[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core BlockRng::next_u64, verbatim semantics.
+            let read_u64 = |results: &[u32; BUF_WORDS], index: usize| {
+                u64::from(results[index + 1]) << 32 | u64::from(results[index])
+            };
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.results, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.results, 0)
+            } else {
+                let x = u64::from(self.results[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.results[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let word = self.next_u32().to_le_bytes();
+                rem.copy_from_slice(&word[..rem.len()]);
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    pub trait Distribution<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The `Standard` distribution, faithful to rand 0.8.5.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53-bit multiply-based conversion into [0, 1)
+            let value = rng.next_u64() >> (64 - 53);
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> (32 - 24);
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    macro_rules! standard_int_from_u32 {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u32() as $ty
+                }
+            }
+        )*};
+    }
+    macro_rules! standard_int_from_u64 {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+    standard_int_from_u32!(u8, u16, u32, i8, i16, i32);
+    standard_int_from_u64!(u64, i64, usize, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            // rand 0.8: high word drawn first
+            let hi = rng.next_u64() as u128;
+            let lo = rng.next_u64() as u128;
+            (hi << 64) | lo
+        }
+    }
+    impl Distribution<i128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+            <Standard as Distribution<u128>>::sample(self, rng) as i128
+        }
+    }
+
+    pub mod uniform {
+        use super::Distribution;
+        use crate::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        pub trait SampleUniform: Sized {
+            type Sampler: UniformSampler<X = Self>;
+        }
+
+        pub trait UniformSampler: Sized {
+            type X;
+            fn new(low: Self::X, high: Self::X) -> Self;
+            fn new_inclusive(low: Self::X, high: Self::X) -> Self;
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::X;
+            fn sample_single<R: Rng + ?Sized>(low: Self::X, high: Self::X, rng: &mut R)
+                -> Self::X;
+            fn sample_single_inclusive<R: Rng + ?Sized>(
+                low: Self::X,
+                high: Self::X,
+                rng: &mut R,
+            ) -> Self::X;
+        }
+
+        pub trait SampleRange<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+            fn is_empty(&self) -> bool;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                T::Sampler::sample_single(self.start, self.end, rng)
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                let (start, end) = self.into_inner();
+                T::Sampler::sample_single_inclusive(start, end, rng)
+            }
+            fn is_empty(&self) -> bool {
+                !(self.start() <= self.end())
+            }
+        }
+
+        trait WideningMultiply<RHS = Self> {
+            type Output;
+            fn wmul(self, x: RHS) -> Self::Output;
+        }
+        impl WideningMultiply for u32 {
+            type Output = (u32, u32);
+            #[inline(always)]
+            fn wmul(self, x: u32) -> (u32, u32) {
+                let tmp = (self as u64) * (x as u64);
+                ((tmp >> 32) as u32, tmp as u32)
+            }
+        }
+        impl WideningMultiply for u64 {
+            type Output = (u64, u64);
+            #[inline(always)]
+            fn wmul(self, x: u64) -> (u64, u64) {
+                let tmp = (self as u128) * (x as u128);
+                ((tmp >> 64) as u64, tmp as u64)
+            }
+        }
+        impl WideningMultiply for u128 {
+            type Output = (u128, u128);
+            #[inline(always)]
+            fn wmul(self, x: u128) -> (u128, u128) {
+                const LOWER_MASK: u128 = !0u128 >> 64;
+                let mut low = (self & LOWER_MASK).wrapping_mul(x & LOWER_MASK);
+                let mut t = low >> 64;
+                low &= LOWER_MASK;
+                t += (self >> 64).wrapping_mul(x & LOWER_MASK);
+                low += (t & LOWER_MASK) << 64;
+                let mut high = t >> 64;
+                t = low >> 64;
+                low &= LOWER_MASK;
+                t += (x >> 64).wrapping_mul(self & LOWER_MASK);
+                low += (t & LOWER_MASK) << 64;
+                high += t >> 64;
+                high += (self >> 64).wrapping_mul(x >> 64);
+                (high, low)
+            }
+        }
+        impl WideningMultiply for usize {
+            type Output = (usize, usize);
+            #[inline(always)]
+            fn wmul(self, x: usize) -> (usize, usize) {
+                let (hi, lo) = (self as u64).wmul(x as u64);
+                (hi as usize, lo as usize)
+            }
+        }
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct UniformInt<X> {
+            low: X,
+            range: X,
+            z: X, // ints_to_reject
+        }
+
+        macro_rules! uniform_int_impl {
+            ($ty:ty, $unsigned:ident, $u_large:ty) => {
+                impl SampleUniform for $ty {
+                    type Sampler = UniformInt<$ty>;
+                }
+
+                impl UniformSampler for UniformInt<$ty> {
+                    type X = $ty;
+
+                    fn new(low: Self::X, high: Self::X) -> Self {
+                        assert!(low < high, "Uniform::new called with `low >= high`");
+                        Self::new_inclusive(low, high - 1)
+                    }
+
+                    fn new_inclusive(low: Self::X, high: Self::X) -> Self {
+                        assert!(
+                            low <= high,
+                            "Uniform::new_inclusive called with `low > high`"
+                        );
+                        let unsigned_max = <$u_large>::MAX;
+                        let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                        let ints_to_reject = if range > 0 {
+                            (unsigned_max - range + 1) % range
+                        } else {
+                            0
+                        };
+                        UniformInt {
+                            low,
+                            range: range as $ty,
+                            z: ints_to_reject as $unsigned as $ty,
+                        }
+                    }
+
+                    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::X {
+                        let range = self.range as $unsigned as $u_large;
+                        if range > 0 {
+                            let unsigned_max = <$u_large>::MAX;
+                            let zone = unsigned_max - (self.z as $unsigned as $u_large);
+                            loop {
+                                let v: $u_large = rng.gen();
+                                let (hi, lo) = v.wmul(range);
+                                if lo <= zone {
+                                    return self.low.wrapping_add(hi as $ty);
+                                }
+                            }
+                        } else {
+                            rng.gen()
+                        }
+                    }
+
+                    fn sample_single<R: Rng + ?Sized>(
+                        low: Self::X,
+                        high: Self::X,
+                        rng: &mut R,
+                    ) -> Self::X {
+                        assert!(low < high, "UniformSampler::sample_single: low >= high");
+                        Self::sample_single_inclusive(low, high - 1, rng)
+                    }
+
+                    fn sample_single_inclusive<R: Rng + ?Sized>(
+                        low: Self::X,
+                        high: Self::X,
+                        rng: &mut R,
+                    ) -> Self::X {
+                        assert!(
+                            low <= high,
+                            "UniformSampler::sample_single_inclusive: low > high"
+                        );
+                        let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                        // If the range is 0 the type range was requested:
+                        // all values are accepted.
+                        if range == 0 {
+                            return rng.gen();
+                        }
+                        let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                            // modulus is faster for 8/16-bit types
+                            let unsigned_max: $u_large = <$u_large>::MAX;
+                            let ints_to_reject = (unsigned_max - range + 1) % range;
+                            unsigned_max - ints_to_reject
+                        } else {
+                            // conservative zone approximation
+                            (range << range.leading_zeros()).wrapping_sub(1)
+                        };
+                        loop {
+                            let v: $u_large = rng.gen();
+                            let (hi, lo) = v.wmul(range);
+                            if lo <= zone {
+                                return low.wrapping_add(hi as $ty);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        uniform_int_impl! { i8, u8, u32 }
+        uniform_int_impl! { i16, u16, u32 }
+        uniform_int_impl! { i32, u32, u32 }
+        uniform_int_impl! { i64, u64, u64 }
+        uniform_int_impl! { i128, u128, u128 }
+        uniform_int_impl! { isize, usize, usize }
+        uniform_int_impl! { u8, u8, u32 }
+        uniform_int_impl! { u16, u16, u32 }
+        uniform_int_impl! { u32, u32, u32 }
+        uniform_int_impl! { u64, u64, u64 }
+        uniform_int_impl! { u128, u128, u128 }
+        uniform_int_impl! { usize, usize, usize }
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct UniformFloat<X> {
+            low: X,
+            scale: X,
+        }
+
+        macro_rules! uniform_float_impl {
+            ($ty:ty, $uty:ty, $f_scalar:ident, $bits_to_discard:expr, $fraction_bits:expr) => {
+                impl SampleUniform for $ty {
+                    type Sampler = UniformFloat<$ty>;
+                }
+
+                impl UniformFloat<$ty> {
+                    #[inline(always)]
+                    fn into_float_with_exponent(x: $uty, exponent: i32) -> $ty {
+                        // construct a float in [2^e, 2^(e+1)) from the fraction bits
+                        let bias: i32 = (1 << (<$uty>::BITS - $fraction_bits - 2)) - 1;
+                        let exponent_bits =
+                            ((bias + exponent) as $uty) << $fraction_bits;
+                        <$ty>::from_bits(x | exponent_bits)
+                    }
+                }
+
+                impl UniformSampler for UniformFloat<$ty> {
+                    type X = $ty;
+
+                    fn new(low: Self::X, high: Self::X) -> Self {
+                        assert!(low.is_finite(), "Uniform::new called with non-finite low");
+                        assert!(high.is_finite(), "Uniform::new called with non-finite high");
+                        assert!(low < high, "Uniform::new called with `low >= high`");
+                        let max_rand = Self::into_float_with_exponent(
+                            <$uty>::MAX >> $bits_to_discard,
+                            0,
+                        ) - 1.0;
+                        let mut scale = high - low;
+                        assert!(scale.is_finite(), "Uniform::new: range overflow");
+                        loop {
+                            let mask = (scale * max_rand + low) >= high;
+                            if !mask {
+                                break;
+                            }
+                            scale = <$ty>::from_bits(scale.to_bits() - 1);
+                        }
+                        debug_assert!(0.0 <= scale);
+                        UniformFloat { low, scale }
+                    }
+
+                    fn new_inclusive(low: Self::X, high: Self::X) -> Self {
+                        assert!(
+                            low <= high,
+                            "Uniform::new_inclusive called with `low > high`"
+                        );
+                        let max_rand = Self::into_float_with_exponent(
+                            <$uty>::MAX >> $bits_to_discard,
+                            0,
+                        ) - 1.0;
+                        let mut scale = (high - low) / max_rand;
+                        assert!(scale.is_finite(), "Uniform::new_inclusive: range overflow");
+                        loop {
+                            let mask = (scale * max_rand + low) > high;
+                            if !mask {
+                                break;
+                            }
+                            scale = <$ty>::from_bits(scale.to_bits() - 1);
+                        }
+                        UniformFloat { low, scale }
+                    }
+
+                    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Self::X {
+                        let value: $uty = rng.gen();
+                        let value1_2 =
+                            Self::into_float_with_exponent(value >> $bits_to_discard, 0);
+                        let value0_1 = value1_2 - 1.0;
+                        value0_1 * self.scale + self.low
+                    }
+
+                    fn sample_single<R: Rng + ?Sized>(
+                        low: Self::X,
+                        high: Self::X,
+                        rng: &mut R,
+                    ) -> Self::X {
+                        assert!(low < high, "UniformSampler::sample_single: low >= high");
+                        let mut scale = high - low;
+                        assert!(
+                            scale.is_finite(),
+                            "UniformSampler::sample_single: range overflow"
+                        );
+                        loop {
+                            // a value in [1, 2)
+                            let value: $uty = rng.gen();
+                            let value1_2 =
+                                Self::into_float_with_exponent(value >> $bits_to_discard, 0);
+                            let value0_1 = value1_2 - 1.0;
+                            let res = value0_1 * scale + low;
+                            if res < high {
+                                return res;
+                            }
+                            // rare rounding edge: retry with 1-ulp-smaller scale
+                            scale = <$ty>::from_bits(scale.to_bits() - 1);
+                        }
+                    }
+
+                    fn sample_single_inclusive<R: Rng + ?Sized>(
+                        low: Self::X,
+                        high: Self::X,
+                        rng: &mut R,
+                    ) -> Self::X {
+                        assert!(
+                            low <= high,
+                            "UniformSampler::sample_single_inclusive: low > high"
+                        );
+                        let scale = high - low;
+                        assert!(
+                            scale.is_finite(),
+                            "UniformSampler::sample_single_inclusive: range overflow"
+                        );
+                        let value: $uty = rng.gen();
+                        let value1_2 =
+                            Self::into_float_with_exponent(value >> $bits_to_discard, 0);
+                        let value0_1 = value1_2 - 1.0;
+                        value0_1 * scale + low
+                    }
+                }
+            };
+        }
+
+        uniform_float_impl! { f32, u32, f32, 32 - 23 - 1, 23 }
+        uniform_float_impl! { f64, u64, f64, 64 - 52 - 1, 52 }
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct Uniform<X: SampleUniform>(X::Sampler);
+
+        impl<X: SampleUniform> Uniform<X> {
+            pub fn new(low: X, high: X) -> Uniform<X> {
+                Uniform(X::Sampler::new(low, high))
+            }
+            pub fn new_inclusive(low: X, high: X) -> Uniform<X> {
+                Uniform(X::Sampler::new_inclusive(low, high))
+            }
+        }
+
+        impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> X {
+                self.0.sample(rng)
+            }
+        }
+    }
+
+    pub use uniform::Uniform;
+}
+
+pub use rngs::StdRng;

@@ -1,0 +1,20 @@
+//! Offline serde API stub: marker traits with blanket impls plus no-op
+//! derive macros. Serialization itself is not supported — `serde_json`'s
+//! stub returns errors — but everything type-checks.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
