@@ -20,6 +20,13 @@
 //!   checkpoint / recovery / replay), the critical path and the fraction
 //!   of wall time it explains, and per-worker lost-time attribution.
 //! * `--profile-json <path>` — write the same analysis as JSON.
+//! * `--monitor` — tap each experiment's recorder with a `dl-monitor`
+//!   pipeline (default window grid, no rules) and print the live-series
+//!   table it aggregated: per-replica and fleet p50/p99/p999 latency,
+//!   admit/shed/downgrade counts, queue depth and health, plus any
+//!   alerts fired.
+//! * `--monitor-json <path>` — write the same live series as byte-stable
+//!   JSON (one object per monitored experiment).
 //! * `--baseline <dir>` — snapshot each experiment's numeric records to
 //!   `<dir>/BENCH_<ID>.json` for later `exp check` runs.
 //! * `check --against <dir>` — re-run every experiment that has a
@@ -33,6 +40,7 @@
 use std::path::{Path, PathBuf};
 
 use dl_bench::{all_ids, run_experiment, run_experiment_traced, Table};
+use dl_monitor::{Monitor, MonitorConfig, MonitorReport};
 use dl_obs::{export, NullRecorder, Recorder, TimelineRecorder, ToFields};
 use dl_prof::{analyze, runs, Baseline, Tolerance, TraceProfile};
 
@@ -44,6 +52,8 @@ struct Args {
     trace_path: Option<String>,
     profile: bool,
     profile_json: Option<String>,
+    monitor: bool,
+    monitor_json: Option<String>,
     baseline_dir: Option<String>,
     against: Option<String>,
     check: bool,
@@ -65,6 +75,8 @@ fn parse(args: &[String]) -> Result<Args, String> {
         trace_path: None,
         profile: false,
         profile_json: None,
+        monitor: false,
+        monitor_json: None,
         baseline_dir: None,
         against: None,
         check: args.first().map(String::as_str) == Some("check"),
@@ -78,6 +90,10 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--trace" => parsed.trace_path = Some(flag_value(args, &mut i, "--trace")?),
             "--profile-json" => {
                 parsed.profile_json = Some(flag_value(args, &mut i, "--profile-json")?);
+            }
+            "--monitor" => parsed.monitor = true,
+            "--monitor-json" => {
+                parsed.monitor_json = Some(flag_value(args, &mut i, "--monitor-json")?);
             }
             "--baseline" => parsed.baseline_dir = Some(flag_value(args, &mut i, "--baseline")?),
             "--against" => parsed.against = Some(flag_value(args, &mut i, "--against")?),
@@ -105,7 +121,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         let canonical = id.to_ascii_lowercase();
         if !known.contains(&canonical) {
             return Err(format!(
-                "unknown experiment {id:?}; expected e1..e27, a1..a4, or 'all'"
+                "unknown experiment {id:?}; expected e1..e28, a1..a4, or 'all'"
             ));
         }
     }
@@ -184,6 +200,76 @@ fn profiles_json(id: &str, profiles: &[(String, TraceProfile)]) -> String {
             out.push_str(&export::fields_to_json(&w.to_fields()));
         }
         out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the monitor's live-series table: fleet first, then replicas,
+/// then one line per alert fired.
+fn render_monitor(id: &str, rep: &MonitorReport) -> String {
+    let mut out = format!(
+        "monitor: {id} ({} windows of {:.2e}s, {} lost)\n",
+        rep.windows_closed, rep.window_s, rep.lost
+    );
+    let mut series = Table::new(&[
+        "scope", "admit", "done", "shed", "downgr", "p50 us", "p99 us", "p999 us", "rate rps",
+        "queue", "health",
+    ]);
+    for s in std::iter::once(&rep.fleet).chain(rep.replicas.iter()) {
+        series.row(&[
+            s.scope.clone(),
+            format!("{}", s.admits),
+            format!("{}", s.completions),
+            format!("{}", s.sheds),
+            format!("{}", s.downgrades),
+            format!("{:.1}", s.p50_s * 1e6),
+            format!("{:.1}", s.p99_s * 1e6),
+            format!("{:.1}", s.p999_s * 1e6),
+            format!("{:.1}", s.completion_rate_rps),
+            format!("{:.2}", s.queue_depth),
+            format!("{:.2}", s.health),
+        ]);
+    }
+    out.push_str(&series.render());
+    for a in &rep.alerts {
+        out.push_str(&format!(
+            "\nalert: {} [{}] {} at {:.6}s (value {:.4e}, threshold {:.4e})",
+            a.rule,
+            a.kind.label(),
+            a.scope,
+            a.at_s,
+            a.value,
+            a.threshold
+        ));
+    }
+    if rep.alerts.is_empty() {
+        out.push_str("\nalerts: none");
+    }
+    out.push('\n');
+    out
+}
+
+/// One experiment's monitor report as a byte-stable JSON object.
+fn monitor_json(id: &str, rep: &MonitorReport) -> String {
+    let mut out = format!("{{\"id\": \"{id}\", \"monitor\": ");
+    out.push_str(&export::fields_to_json(&rep.to_fields()));
+    out.push_str(", \"series\": [");
+    for (i, s) in std::iter::once(&rep.fleet)
+        .chain(rep.replicas.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&export::fields_to_json(&s.to_fields()));
+    }
+    out.push_str("], \"alerts\": [");
+    for (i, a) in rep.alerts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&export::fields_to_json(&a.to_fields()));
     }
     out.push_str("]}");
     out
@@ -281,8 +367,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: exp <e1..e27|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
-             \x20           [--profile-json <path>] [--baseline <dir>]\n\
+            "usage: exp <e1..e28|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
+             \x20           [--profile-json <path>] [--monitor] [--monitor-json <path>]\n\
+             \x20           [--baseline <dir>]\n\
              \x20      exp check --against <dir> [id...]\n\
              \x20      exp --list\n\
              exit codes: 0 ok, 1 experiment failed, 2 bad usage, 3 baseline regression"
@@ -321,16 +408,26 @@ fn main() {
     } else {
         None
     };
+    let monitoring = args.monitor || args.monitor_json.is_some();
     let null = NullRecorder::new();
     let mut failed = false;
     let mut all_profiles = Vec::new();
+    let mut monitor_reports: Vec<(String, MonitorReport)> = Vec::new();
     for id in &args.ids {
         let per_exp = trace_dir.as_ref().map(|_| TimelineRecorder::new());
-        let rec: &dyn Recorder = per_exp
+        let inner: &dyn Recorder = per_exp
             .as_ref()
             .map(|t| t as &dyn Recorder)
             .or(shared.as_ref().map(|t| t as &dyn Recorder))
             .unwrap_or(&null);
+        // The monitor taps whatever recorder the experiment would have
+        // used — it forwards every event unchanged, so traces and
+        // profiles are unaffected by attaching it.
+        let monitor = monitoring.then(|| Monitor::new(inner, MonitorConfig::default()));
+        let rec: &dyn Recorder = monitor
+            .as_ref()
+            .map(|m| m as &dyn Recorder)
+            .unwrap_or(inner);
         let events_before = shared.as_ref().map_or(0, TimelineRecorder::len);
         match run_experiment_traced(id, rec) {
             Ok(result) => {
@@ -354,6 +451,13 @@ fn main() {
                 eprintln!("error: {e}");
                 failed = true;
             }
+        }
+        if let Some(m) = &monitor {
+            let rep = m.report();
+            if args.monitor {
+                println!("{}", render_monitor(id, &rep));
+            }
+            monitor_reports.push((id.clone(), rep));
         }
         let events = match (&per_exp, &shared) {
             (Some(t), _) => t.events(),
@@ -381,6 +485,20 @@ fn main() {
                     eprintln!("error: could not write trace to {}: {e}", path.display());
                     failed = true;
                 }
+            }
+        }
+    }
+    if let Some(path) = &args.monitor_json {
+        let body = monitor_reports
+            .iter()
+            .map(|(id, rep)| monitor_json(id, rep))
+            .collect::<Vec<_>>()
+            .join(",\n  ");
+        match std::fs::write(path, format!("[\n  {body}\n]\n")) {
+            Ok(()) => println!("monitor json: {path}"),
+            Err(e) => {
+                eprintln!("error: could not write monitor json to {path}: {e}");
+                failed = true;
             }
         }
     }

@@ -31,6 +31,7 @@ pub mod e24_profiling;
 pub mod e25_serving;
 pub mod e26_parallel;
 pub mod e27_cluster;
+pub mod e28_monitoring;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

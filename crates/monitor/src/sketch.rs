@@ -1,0 +1,244 @@
+//! Mergeable log-bucketed quantile sketches.
+//!
+//! [`QuantileSketch`] wraps `dl_obs::Histogram`: the bucket grid is
+//! *fixed* (base-2 log scale, `HISTOGRAM_BUCKETS` buckets from
+//! `2^HISTOGRAM_MIN_EXP`), never rescaled to the data, so two sketches
+//! built from disjoint streams merge into exactly the sketch of the
+//! concatenated stream — the merge law the tests below pin bit-for-bit.
+//! That exactness is what makes per-replica and per-window sharding
+//! safe: fleet quantiles are merges of replica sketches, sliding-window
+//! quantiles are merges of per-window sketches, and neither depends on
+//! merge order.
+
+use dl_obs::Histogram;
+use std::collections::VecDeque;
+
+/// A mergeable quantile sketch on `dl_obs::Histogram`'s fixed log-scale
+/// bucket grid.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[must_use]
+pub struct QuantileSketch {
+    hist: Histogram,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.hist.observe(value);
+    }
+
+    /// Folds `other` in. Exact on buckets/count/min/max (and therefore
+    /// on every quantile); `sum` merges with f64 rounding.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.hist.merge(&other.hist);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.hist.count
+    }
+
+    /// Mean of the observed values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.hist.mean()
+    }
+
+    /// Upper bucket edge of the `q`-quantile (0 when empty).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.hist.quantile(q)
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.hist.p50()
+    }
+
+    /// 99th percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.hist.p99()
+    }
+
+    /// 99.9th percentile estimate.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.hist.p999()
+    }
+
+    /// The underlying histogram (shared bucket grid with every
+    /// `Recorder::observe` histogram, so sketches and recorder
+    /// histograms are directly comparable).
+    #[must_use]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Wraps an existing histogram (e.g. one lifted out of a
+    /// `TimelineRecorder`) as a sketch.
+    pub fn from_histogram(hist: Histogram) -> Self {
+        QuantileSketch { hist }
+    }
+}
+
+/// A sliding-window family of sketches on the monitor's roll grid: one
+/// open sketch for the current window, a bounded ring of closed ones,
+/// and an all-time sketch that never evicts.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct WindowedSketch {
+    depth: usize,
+    closed: VecDeque<QuantileSketch>,
+    current: QuantileSketch,
+    lifetime: QuantileSketch,
+}
+
+impl WindowedSketch {
+    /// Retains the last `depth` closed windows.
+    ///
+    /// # Panics
+    /// Panics when `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "need at least one window of history");
+        WindowedSketch {
+            depth,
+            closed: VecDeque::new(),
+            current: QuantileSketch::new(),
+            lifetime: QuantileSketch::new(),
+        }
+    }
+
+    /// Records into the current window (and the lifetime sketch).
+    pub fn observe(&mut self, value: f64) {
+        self.current.observe(value);
+        self.lifetime.observe(value);
+    }
+
+    /// Closes the current window into the ring.
+    pub fn roll(&mut self) {
+        let done = std::mem::take(&mut self.current);
+        self.closed.push_back(done);
+        if self.closed.len() > self.depth {
+            self.closed.pop_front();
+        }
+    }
+
+    /// Merge of the most recent `k` closed windows (fewer when fewer
+    /// exist); the current open window is *not* included, so rule
+    /// evaluation on a roll boundary sees complete windows only.
+    pub fn over_last(&self, k: usize) -> QuantileSketch {
+        let mut out = QuantileSketch::new();
+        for s in self.closed.iter().rev().take(k) {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// Every observation ever recorded, open window included.
+    pub fn lifetime(&self) -> &QuantileSketch {
+        &self.lifetime
+    }
+
+    /// Closed windows currently retained.
+    #[must_use]
+    pub fn closed_windows(&self) -> usize {
+        self.closed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 1_000_000) as f64 * 1e-9
+            })
+            .collect()
+    }
+
+    fn sketch_of(values: &[f64]) -> QuantileSketch {
+        let mut q = QuantileSketch::new();
+        for &v in values {
+            q.observe(v);
+        }
+        q
+    }
+
+    #[test]
+    fn exact_merge_law_against_the_histogram() {
+        // merge(sketch(A), sketch(B)) == sketch(A ++ B), and both equal
+        // the Histogram a Recorder would have built from the combined
+        // stream — bucket grids are shared, so equality is on the full
+        // struct (sum included: identical observation order here).
+        let a = stream(9, 300);
+        let b = stream(1000, 211);
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+        let mut combined = a.clone();
+        combined.extend(&b);
+        let direct = sketch_of(&combined);
+        assert_eq!(merged.histogram().buckets, direct.histogram().buckets);
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.histogram().min, direct.histogram().min);
+        assert_eq!(merged.histogram().max, direct.histogram().max);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.quantile(q).to_bits(),
+                direct.quantile(q).to_bits(),
+                "quantile({q}) must be exactly merge-invariant"
+            );
+        }
+        // And against a recorder histogram of the same stream.
+        let mut rec_hist = dl_obs::Histogram::default();
+        for &v in &combined {
+            rec_hist.observe(v);
+        }
+        assert_eq!(merged.histogram().buckets, rec_hist.buckets);
+    }
+
+    #[test]
+    fn windowed_sketch_slides_and_keeps_lifetime() {
+        let mut w = WindowedSketch::new(2);
+        for (i, chunk) in [1e-3, 1e-2, 1e-1].iter().enumerate() {
+            for _ in 0..10 {
+                w.observe(*chunk);
+            }
+            w.roll();
+            assert_eq!(w.closed_windows(), (i + 1).min(2));
+        }
+        // Ring holds the last two windows (1e-2 and 1e-1 values).
+        let last2 = w.over_last(2);
+        assert_eq!(last2.count(), 20);
+        assert!(last2.histogram().min >= 1e-2, "oldest window evicted");
+        let last1 = w.over_last(1);
+        assert_eq!(last1.count(), 10);
+        assert!(last1.histogram().min >= 1e-1);
+        // Lifetime never evicts.
+        assert_eq!(w.lifetime().count(), 30);
+        assert_eq!(w.lifetime().histogram().min, 1e-3);
+        assert_eq!(w.over_last(0).count(), 0, "k=0 is empty");
+    }
+
+    #[test]
+    fn empty_sketch_quantiles_are_zero() {
+        let q = QuantileSketch::new();
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.p50(), 0.0);
+        assert_eq!(q.p999(), 0.0);
+        assert_eq!(q.mean(), 0.0);
+    }
+}

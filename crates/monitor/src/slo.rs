@@ -1,0 +1,287 @@
+//! Declarative SLO rules and the typed alerts they emit.
+//!
+//! Rules are *data*, evaluated by the [`crate::Monitor`] on every window
+//! roll against the live series. Three shapes cover the serving tier's
+//! reliability questions:
+//!
+//! * [`SloRule::LatencyQuantile`] — "the pXX over the trailing *k*
+//!   windows must stay under the target". This is the compliance view:
+//!   it fires once the SLO is *already* violated.
+//! * [`SloRule::BurnRate`] — the early-warning view, after the
+//!   multi-window burn-rate alerting policy: with an error budget of
+//!   `budget` (allowed fraction of requests over the latency objective),
+//!   the burn rate is `(violating fraction) / budget`. The rule fires
+//!   when **both** a fast and a slow trailing window burn faster than
+//!   `threshold` — the fast window gives low detection latency, the slow
+//!   window keeps a transient blip from paging.
+//! * [`SloRule::HealthBelow`] — a floor on the per-replica EWMA health
+//!   score (1 = every event healthy, 0 = shedding/crashed).
+//!
+//! Alerts are edge-triggered: one [`Alert`] when a rule's condition
+//! becomes true for a scope, re-armed once it observes false again — so
+//! a steady healthy run emits exactly zero alerts and the monitored
+//! timeline stays bit-identical to the unmonitored one.
+
+use dl_obs::{fields, Fields, ToFields};
+
+/// One declarative SLO rule. Window counts are in monitor roll windows
+/// (`MonitorConfig::window_s` each) and must fit the configured history.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
+pub enum SloRule {
+    /// Alert when `quantile(q)` of latency over the last `windows`
+    /// closed windows exceeds `target_s`.
+    LatencyQuantile {
+        /// Rule name, carried on every alert it fires.
+        name: String,
+        /// Quantile in `[0, 1]`, e.g. `0.99`.
+        q: f64,
+        /// Latency objective in seconds.
+        target_s: f64,
+        /// Trailing closed windows the quantile is computed over.
+        windows: usize,
+    },
+    /// Alert when the error-budget burn rate exceeds `threshold` over
+    /// **both** the fast and the slow trailing window.
+    BurnRate {
+        /// Rule name, carried on every alert it fires.
+        name: String,
+        /// A request "violates" when its latency exceeds this.
+        latency_slo_s: f64,
+        /// Allowed violating fraction (the error budget), in `(0, 1)`.
+        budget: f64,
+        /// Fast (detection) window, in closed roll windows.
+        fast_windows: usize,
+        /// Slow (confirmation) window, in closed roll windows.
+        slow_windows: usize,
+        /// Burn-rate multiple that fires the alert (e.g. `4.0`).
+        threshold: f64,
+    },
+    /// Alert when a replica's EWMA health score drops below `threshold`.
+    HealthBelow {
+        /// Rule name, carried on every alert it fires.
+        name: String,
+        /// Health floor in `[0, 1]`.
+        threshold: f64,
+    },
+}
+
+impl SloRule {
+    /// The rule's name (alert correlation key).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            SloRule::LatencyQuantile { name, .. }
+            | SloRule::BurnRate { name, .. }
+            | SloRule::HealthBelow { name, .. } => name,
+        }
+    }
+
+    /// The deepest trailing-window history this rule needs.
+    #[must_use]
+    pub fn windows_needed(&self) -> usize {
+        match self {
+            SloRule::LatencyQuantile { windows, .. } => *windows,
+            SloRule::BurnRate {
+                fast_windows,
+                slow_windows,
+                ..
+            } => (*fast_windows).max(*slow_windows),
+            SloRule::HealthBelow { .. } => 1,
+        }
+    }
+
+    /// Validates the rule's numeric domain.
+    ///
+    /// # Panics
+    /// Panics on empty windows, quantiles/budgets/thresholds outside
+    /// their domain, or non-positive targets.
+    pub fn validate(&self) {
+        match self {
+            SloRule::LatencyQuantile {
+                q,
+                target_s,
+                windows,
+                ..
+            } => {
+                assert!((0.0..=1.0).contains(q), "quantile must lie in [0,1]");
+                assert!(*target_s > 0.0, "latency target must be positive");
+                assert!(*windows > 0, "need at least one window");
+            }
+            SloRule::BurnRate {
+                latency_slo_s,
+                budget,
+                fast_windows,
+                slow_windows,
+                threshold,
+                ..
+            } => {
+                assert!(*latency_slo_s > 0.0, "latency objective must be positive");
+                assert!(
+                    *budget > 0.0 && *budget < 1.0,
+                    "error budget must lie in (0,1)"
+                );
+                assert!(
+                    *fast_windows > 0 && *slow_windows >= *fast_windows,
+                    "need fast <= slow windows, both positive"
+                );
+                assert!(*threshold > 0.0, "burn threshold must be positive");
+            }
+            SloRule::HealthBelow { threshold, .. } => {
+                assert!(
+                    (0.0..=1.0).contains(threshold),
+                    "health floor must lie in [0,1]"
+                );
+            }
+        }
+    }
+}
+
+/// What kind of condition an [`Alert`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A latency-quantile target is violated (compliance view).
+    Latency,
+    /// The error budget is burning too fast (early-warning view).
+    BurnRate,
+    /// A replica health score fell through its floor.
+    Health,
+    /// The served input distribution drifted off the reference profile.
+    InputDrift,
+    /// The predicted-class distribution drifted off the reference.
+    PredictionDrift,
+}
+
+impl AlertKind {
+    /// Stable lowercase label (trace field / JSON value).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::Latency => "latency",
+            AlertKind::BurnRate => "burn_rate",
+            AlertKind::Health => "health",
+            AlertKind::InputDrift => "input_drift",
+            AlertKind::PredictionDrift => "prediction_drift",
+        }
+    }
+}
+
+/// One typed alert instant: a rule's condition became true for a scope.
+#[derive(Debug, Clone, PartialEq)]
+#[must_use]
+pub struct Alert {
+    /// Simulated time the window roll that fired the alert closed at.
+    pub at_s: f64,
+    /// Name of the rule (or drift detector) that fired.
+    pub rule: String,
+    /// Condition category.
+    pub kind: AlertKind,
+    /// `"fleet"` or `"replica-N"`.
+    pub scope: String,
+    /// The measured value that crossed the threshold.
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+}
+
+impl ToFields for Alert {
+    fn to_fields(&self) -> Fields {
+        fields! {
+            "at_s" => self.at_s,
+            "rule" => self.rule.clone(),
+            "kind" => self.kind.label(),
+            "scope" => self.scope.clone(),
+            "value" => self.value,
+            "threshold" => self.threshold,
+        }
+    }
+}
+
+/// Burn rate of an error budget: `(violations / total) / budget`, with
+/// an empty window burning at exactly `0.0` (the empty-window
+/// convention — no traffic burns no budget).
+#[must_use]
+pub fn burn_rate(violations: u64, total: u64, budget: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    (violations as f64 / total as f64) / budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rate_is_budget_relative_and_empty_safe() {
+        assert_eq!(burn_rate(0, 0, 0.01), 0.0, "no traffic burns nothing");
+        assert_eq!(burn_rate(0, 100, 0.01), 0.0);
+        // 1% violating at a 1% budget: burning exactly at rate 1.
+        assert!((burn_rate(1, 100, 0.01) - 1.0).abs() < 1e-12);
+        // 10% violating at a 1% budget: 10x burn.
+        assert!((burn_rate(10, 100, 0.01) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_validate_their_domains() {
+        SloRule::LatencyQuantile {
+            name: "p99".into(),
+            q: 0.99,
+            target_s: 1e-4,
+            windows: 8,
+        }
+        .validate();
+        SloRule::BurnRate {
+            name: "burn".into(),
+            latency_slo_s: 1e-4,
+            budget: 0.02,
+            fast_windows: 2,
+            slow_windows: 12,
+            threshold: 4.0,
+        }
+        .validate();
+        SloRule::HealthBelow {
+            name: "health".into(),
+            threshold: 0.5,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fast <= slow")]
+    fn burn_rule_rejects_inverted_windows() {
+        SloRule::BurnRate {
+            name: "bad".into(),
+            latency_slo_s: 1e-4,
+            budget: 0.02,
+            fast_windows: 9,
+            slow_windows: 3,
+            threshold: 4.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn alert_serializes_with_stable_labels() {
+        let a = Alert {
+            at_s: 0.5,
+            rule: "p99-slo".into(),
+            kind: AlertKind::BurnRate,
+            scope: "fleet".into(),
+            value: 6.0,
+            threshold: 4.0,
+        };
+        let f = a.to_fields();
+        let json = dl_obs::export::fields_to_json(&f);
+        assert!(json.contains("\"kind\":\"burn_rate\""), "{json}");
+        assert!(json.contains("\"scope\":\"fleet\""), "{json}");
+        assert_eq!(
+            SloRule::HealthBelow {
+                name: "h".into(),
+                threshold: 0.3
+            }
+            .windows_needed(),
+            1
+        );
+    }
+}

@@ -263,6 +263,25 @@ impl Histogram {
     pub fn p999(&self) -> f64 {
         self.quantile(0.999)
     }
+
+    /// Folds `other` into `self`, as if every observation recorded into
+    /// `other` had been recorded here instead.
+    ///
+    /// Because the bucket edges are fixed (never rescaled to the data),
+    /// merging is exact on buckets, counts, min and max — commutative
+    /// *and* associative bit-for-bit, so sharded histograms (per-replica,
+    /// per-window) combine into the same quantile estimates regardless of
+    /// merge order. Only `sum` is subject to f64 rounding: commutative
+    /// exactly (a+b == b+a), associative only approximately.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Summary view of a histogram: count, sum, min/max/mean, and the
@@ -603,6 +622,121 @@ mod tests {
         for (k, v) in h.to_fields() {
             assert_eq!(v.as_f64(), Some(0.0), "field {k} should be 0 when empty");
         }
+    }
+
+    /// Deterministic pseudo-random value stream for the merge-law tests
+    /// (xorshift over a seed; spans ~12 orders of magnitude plus the
+    /// degenerate bucket-0 values).
+    fn value_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                match i % 7 {
+                    0 => 0.0,
+                    1 => -((s % 100) as f64),
+                    _ => (s % 1_000_000) as f64 * 1e-9 * f64::powi(10.0, (s % 12) as i32 - 6),
+                }
+            })
+            .collect()
+    }
+
+    fn hist_of(values: &[f64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    /// Exact equality on everything but `sum` (f64 addition is not
+    /// associative, so `sum` only merges approximately).
+    fn assert_merge_equal(a: &Histogram, b: &Histogram, ctx: &str) {
+        assert_eq!(a.buckets, b.buckets, "{ctx}: buckets");
+        assert_eq!(a.count, b.count, "{ctx}: count");
+        assert_eq!(a.min.to_bits(), b.min.to_bits(), "{ctx}: min");
+        assert_eq!(a.max.to_bits(), b.max.to_bits(), "{ctx}: max");
+        let scale = a.sum.abs().max(1.0);
+        assert!(
+            (a.sum - b.sum).abs() <= 1e-9 * scale,
+            "{ctx}: sum {} vs {}",
+            a.sum,
+            b.sum
+        );
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                a.quantile(q).to_bits(),
+                b.quantile(q).to_bits(),
+                "{ctx}: quantile({q})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one_histogram() {
+        // The merge law: merge(hist(A), hist(B)) == hist(A ++ B), exactly,
+        // for buckets/count/min/max and therefore every quantile.
+        for seed in [3u64, 17, 4242] {
+            let a = value_stream(seed, 97);
+            let b = value_stream(seed.wrapping_mul(31), 61);
+            let mut merged = hist_of(&a);
+            merged.merge(&hist_of(&b));
+            let mut combined: Vec<f64> = a.clone();
+            combined.extend(&b);
+            assert_merge_equal(&merged, &hist_of(&combined), "merge law");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        for seed in [7u64, 99, 1234] {
+            let a = hist_of(&value_stream(seed, 80));
+            let b = hist_of(&value_stream(seed + 1, 120));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab.buckets, ba.buckets);
+            assert_eq!(ab.count, ba.count);
+            // f64 addition is exactly commutative, so sum matches to the bit.
+            assert_eq!(ab.sum.to_bits(), ba.sum.to_bits(), "a+b == b+a exactly");
+            assert_eq!(ab.min.to_bits(), ba.min.to_bits());
+            assert_eq!(ab.max.to_bits(), ba.max.to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        for seed in [11u64, 210, 90_001] {
+            let a = hist_of(&value_stream(seed, 50));
+            let b = hist_of(&value_stream(seed + 2, 70));
+            let c = hist_of(&value_stream(seed + 4, 30));
+            let mut ab_c = a.clone();
+            ab_c.merge(&b);
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_merge_equal(&ab_c, &a_bc, "associativity");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = hist_of(&value_stream(5, 40));
+        let mut merged = h.clone();
+        merged.merge(&Histogram::default());
+        assert_eq!(merged, h, "right identity");
+        let mut from_empty = Histogram::default();
+        from_empty.merge(&h);
+        assert_eq!(from_empty, h, "left identity");
+        let mut both = Histogram::default();
+        both.merge(&Histogram::default());
+        assert_eq!(both.count, 0);
+        assert_eq!(both.to_fields(), Histogram::default().to_fields());
     }
 
     #[test]

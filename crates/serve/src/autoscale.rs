@@ -10,6 +10,8 @@
 //! delay before the new replica takes traffic (plus the cluster's
 //! cold-start warmup once it does); scale-downs drain gracefully.
 
+use dl_monitor::RateWindow;
+
 use crate::device::DeviceModel;
 use crate::variant::Variant;
 
@@ -80,10 +82,15 @@ pub fn replica_capacity_rps(device: &DeviceModel, variant: &Variant) -> f64 {
 
 /// The reactive controller: a sliding arrival window plus the next
 /// evaluation deadline.
+///
+/// The arrival window is `dl_monitor`'s [`RateWindow`] — the same
+/// primitive the monitor tier aggregates with, so the autoscaler and the
+/// monitor price "offered rate" identically (same boundary-timestamp
+/// eviction, same empty-window = 0.0 convention).
 #[derive(Debug)]
 pub struct Autoscaler {
     cfg: AutoscaleConfig,
-    arrivals: std::collections::VecDeque<f64>,
+    arrivals: RateWindow,
     next_eval_s: f64,
 }
 
@@ -92,9 +99,10 @@ impl Autoscaler {
     #[must_use]
     pub fn new(cfg: AutoscaleConfig) -> Self {
         let next_eval_s = cfg.eval_period_s;
+        let arrivals = RateWindow::new(cfg.window_s);
         Autoscaler {
             cfg,
-            arrivals: std::collections::VecDeque::new(),
+            arrivals,
             next_eval_s,
         }
     }
@@ -113,25 +121,19 @@ impl Autoscaler {
 
     /// Records one arrival (arrival times are non-decreasing).
     pub fn observe_arrival(&mut self, t_s: f64) {
-        self.arrivals.push_back(t_s);
+        self.arrivals.push(t_s);
     }
 
     /// Runs one evaluation at `now_s`: estimates the windowed arrival
     /// rate and returns the desired replica count for a fleet of
     /// replicas with `capacity_rps` measured capacity each. Advances the
-    /// evaluation deadline past `now_s`.
+    /// evaluation deadline past `now_s`. An empty window reads exactly
+    /// 0.0 rps (the empty-window convention), scaling to the floor.
     pub fn evaluate(&mut self, now_s: f64, capacity_rps: f64) -> usize {
-        while self
-            .arrivals
-            .front()
-            .is_some_and(|&t| t < now_s - self.cfg.window_s)
-        {
-            self.arrivals.pop_front();
-        }
         while self.next_eval_s <= now_s {
             self.next_eval_s += self.cfg.eval_period_s;
         }
-        let rate_rps = self.arrivals.len() as f64 / self.cfg.window_s;
+        let rate_rps = self.arrivals.rate_at(now_s);
         let per_replica = self.cfg.target_util * capacity_rps;
         let desired = if per_replica > 0.0 {
             (rate_rps / per_replica).ceil() as usize
@@ -171,6 +173,23 @@ mod tests {
         assert_eq!(a.evaluate(2.0, 20.0), 8, "storm ceilings at max");
         // 10 seconds later the window is empty again.
         assert_eq!(a.evaluate(12.0, 20.0), 1);
+    }
+
+    #[test]
+    fn empty_window_reads_exactly_zero_and_boundary_arrival_counts() {
+        let mut a = Autoscaler::new(cfg());
+        // Empty window: rate is exactly 0.0 (the documented convention,
+        // never NaN), so sizing floors at min_replicas.
+        assert_eq!(a.evaluate(1.0, 20.0), 1);
+        // 60 arrivals at t=0 sit exactly on the window boundary at
+        // now=2.0: RateWindow keeps them (30 rps -> 3 replicas at 10 rps
+        // effective), and strictly past the boundary they are gone —
+        // the private-deque eviction rule, preserved bit-for-bit.
+        for _ in 0..60 {
+            a.observe_arrival(0.0);
+        }
+        assert_eq!(a.evaluate(2.0, 20.0), 3, "boundary timestamp counts");
+        assert_eq!(a.evaluate(2.5, 20.0), 1, "then evicts to empty -> 0.0");
     }
 
     #[test]

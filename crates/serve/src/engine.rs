@@ -47,6 +47,7 @@ struct InFlight {
     done_s: f64,
     span: dl_obs::SpanId,
     requests: Vec<Request>,
+    preds: Vec<usize>,
     correct: Vec<bool>,
     downgraded: Vec<bool>,
 }
@@ -82,6 +83,10 @@ pub struct ReplicaParts {
 /// cluster tier.
 pub struct ReplicaEngine {
     track_base: u32,
+    /// Replica id recovered from the track layout (`track_base /
+    /// n_variants`), stamped on the structured serving samples the
+    /// monitor tier consumes.
+    replica: u32,
     primary: usize,
     queues: Vec<VecDeque<Request>>,
     downgraded_pending: Vec<VecDeque<bool>>,
@@ -110,6 +115,7 @@ impl ReplicaEngine {
         let n_variants = registry.variants.len();
         ReplicaEngine {
             track_base,
+            replica: track_base / n_variants.max(1) as u32,
             primary,
             queues: vec![VecDeque::new(); n_variants],
             downgraded_pending: vec![VecDeque::new(); n_variants],
@@ -201,6 +207,23 @@ impl ReplicaEngine {
             let latency = fl.done_s - req.arrival_s;
             self.latencies.push(latency);
             rec.observe("serve.latency_s", latency);
+            if rec.enabled() {
+                // The structured per-request sample the monitor tier
+                // subscribes to (skipped entirely on the NullRecorder
+                // path, which keeps unmonitored serving allocation-free).
+                rec.instant(
+                    self.track_base + fl.variant as u32,
+                    "serve.complete",
+                    fields! {
+                        "request" => req.id,
+                        "replica" => self.replica,
+                        "latency_s" => latency,
+                        "sample" => req.sample,
+                        "pred" => fl.preds[i],
+                        "downgraded" => fl.downgraded[i],
+                    },
+                );
+            }
             if fl.correct[i] {
                 correct += 1;
             }
@@ -247,6 +270,17 @@ impl ReplicaEngine {
             Decision::Accept(v) => {
                 self.queues[v].push_back(req);
                 self.downgraded_pending[v].push_back(false);
+                if rec.enabled() {
+                    rec.instant(
+                        self.track_base + v as u32,
+                        "serve.admit",
+                        fields! {
+                            "request" => req.id,
+                            "replica" => self.replica,
+                            "queue" => self.load(),
+                        },
+                    );
+                }
             }
             Decision::Downgrade { from, to } => {
                 self.queues[to].push_back(req);
@@ -256,6 +290,8 @@ impl ReplicaEngine {
                     "serve.downgrade",
                     fields! {
                         "request" => req.id,
+                        "replica" => self.replica,
+                        "queue" => self.load(),
                         "from" => registry.variants[from].name.clone(),
                         "to" => registry.variants[to].name.clone(),
                     },
@@ -267,7 +303,7 @@ impl ReplicaEngine {
                 rec.instant(
                     self.track_base + self.primary as u32,
                     "serve.shed",
-                    fields! { "request" => req.id },
+                    fields! { "request" => req.id, "replica" => self.replica },
                 );
             }
         }
@@ -353,6 +389,7 @@ impl ReplicaEngine {
             done_s: now_s + dur,
             span,
             requests,
+            preds,
             correct,
             downgraded,
         });

@@ -286,6 +286,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_requests_yield_an_empty_schedule() {
+        // The empty-window convention end to end: zero requests is a
+        // valid (empty) schedule, not a panic or a NaN-rate one, and
+        // every downstream rate estimator reads exactly 0.0 over it.
+        assert!(open_loop(
+            &LoadConfig { rate_rps: 100.0, requests: 0, seed: 1 },
+            4
+        )
+        .is_empty());
+        assert!(bursty(
+            &LoadConfig { rate_rps: 100.0, requests: 0, seed: 1 },
+            &BurstConfig { period_s: 1.0, duty: 0.5, multiplier: 2.0 },
+            4
+        )
+        .is_empty());
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let a = open_loop(
             &LoadConfig { rate_rps: 50.0, requests: 50, seed: 1 },
