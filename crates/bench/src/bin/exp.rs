@@ -12,9 +12,10 @@
 //!
 //! * `--trace <path>` — record every selected experiment onto one shared
 //!   timeline and export it as a Chrome `trace_event` JSON file (loadable
-//!   in `chrome://tracing` or Perfetto). If `<path>` is an existing
-//!   directory, each experiment instead gets its own timeline, written to
-//!   `<path>/<id>.trace.json`.
+//!   in `chrome://tracing` or Perfetto), with request-causality arrows
+//!   (dispatch routing, hedge forks) drawn as flow events. If `<path>`
+//!   is an existing directory, each experiment instead gets its own
+//!   timeline, written to `<path>/<id>.trace.json`.
 //! * `--profile` — after each experiment, analyze its trace with
 //!   `dl-prof`: per-run wall-time decomposition (compute / sync /
 //!   checkpoint / recovery / replay), the critical path and the fraction
@@ -27,6 +28,13 @@
 //!   alerts fired.
 //! * `--monitor-json <path>` — write the same live series as byte-stable
 //!   JSON (one object per monitored experiment).
+//! * `--requests` — tap each experiment's recorder with a `dl-trace`
+//!   tracer and print its per-request view: outcome tallies, the exact
+//!   phase decomposition at p50/p99 (admit / queue / batch-wait /
+//!   service, plus retry and hedge waits), per-replica tail stats, and
+//!   ASCII waterfalls for the slowest requests.
+//! * `--requests-json <path>` — write the same per-request attribution
+//!   as byte-stable JSON (one object per experiment).
 //! * `--baseline <dir>` — snapshot each experiment's numeric records to
 //!   `<dir>/BENCH_<ID>.json` for later `exp check` runs.
 //! * `check --against <dir>` — re-run every experiment that has a
@@ -43,6 +51,10 @@ use dl_bench::{all_ids, run_experiment, run_experiment_traced, Table};
 use dl_monitor::{Monitor, MonitorConfig, MonitorReport};
 use dl_obs::{export, NullRecorder, Recorder, TimelineRecorder, ToFields};
 use dl_prof::{analyze, runs, Baseline, Tolerance, TraceProfile};
+use dl_trace::Tracer;
+
+/// Slowest-request waterfalls shown/exported per experiment.
+const TOP_K_WATERFALLS: usize = 5;
 
 /// Span names that mark one distributed training run on the timeline.
 const RUN_SPANS: [&str; 2] = ["local_sgd", "resilient_local_sgd"];
@@ -54,6 +66,8 @@ struct Args {
     profile_json: Option<String>,
     monitor: bool,
     monitor_json: Option<String>,
+    requests: bool,
+    requests_json: Option<String>,
     baseline_dir: Option<String>,
     against: Option<String>,
     check: bool,
@@ -77,6 +91,8 @@ fn parse(args: &[String]) -> Result<Args, String> {
         profile_json: None,
         monitor: false,
         monitor_json: None,
+        requests: false,
+        requests_json: None,
         baseline_dir: None,
         against: None,
         check: args.first().map(String::as_str) == Some("check"),
@@ -94,6 +110,10 @@ fn parse(args: &[String]) -> Result<Args, String> {
             "--monitor" => parsed.monitor = true,
             "--monitor-json" => {
                 parsed.monitor_json = Some(flag_value(args, &mut i, "--monitor-json")?);
+            }
+            "--requests" => parsed.requests = true,
+            "--requests-json" => {
+                parsed.requests_json = Some(flag_value(args, &mut i, "--requests-json")?);
             }
             "--baseline" => parsed.baseline_dir = Some(flag_value(args, &mut i, "--baseline")?),
             "--against" => parsed.against = Some(flag_value(args, &mut i, "--against")?),
@@ -121,7 +141,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         let canonical = id.to_ascii_lowercase();
         if !known.contains(&canonical) {
             return Err(format!(
-                "unknown experiment {id:?}; expected e1..e28, a1..a4, or 'all'"
+                "unknown experiment {id:?}; expected e1..e29, a1..a4, or 'all'"
             ));
         }
     }
@@ -275,6 +295,17 @@ fn monitor_json(id: &str, rep: &MonitorReport) -> String {
     out
 }
 
+/// Chrome trace JSON with request-causality arrows (dispatch routing,
+/// hedge forks) drawn as flow events. Experiments with no request
+/// traffic produce no arrows, so the output degrades to the plain trace.
+fn chrome_trace_with_requests(events: &[dl_obs::Event]) -> String {
+    let flows = dl_trace::flows(events);
+    let mut buf = Vec::new();
+    export::write_chrome_trace_with_flows(events, &flows, &mut buf)
+        .expect("in-memory sink cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
 /// Maps a `BENCH_E05.json` file name back to its experiment id (`e5`).
 fn id_of_baseline_file(name: &str) -> Option<String> {
     let stem = name.strip_prefix("BENCH_")?.strip_suffix(".json")?;
@@ -367,9 +398,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: exp <e1..e28|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
+            "usage: exp <e1..e29|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
              \x20           [--profile-json <path>] [--monitor] [--monitor-json <path>]\n\
-             \x20           [--baseline <dir>]\n\
+             \x20           [--requests] [--requests-json <path>] [--baseline <dir>]\n\
              \x20      exp check --against <dir> [id...]\n\
              \x20      exp --list\n\
              exit codes: 0 ok, 1 experiment failed, 2 bad usage, 3 baseline regression"
@@ -409,10 +440,12 @@ fn main() {
         None
     };
     let monitoring = args.monitor || args.monitor_json.is_some();
+    let tracing = args.requests || args.requests_json.is_some();
     let null = NullRecorder::new();
     let mut failed = false;
     let mut all_profiles = Vec::new();
     let mut monitor_reports: Vec<(String, MonitorReport)> = Vec::new();
+    let mut request_reports: Vec<(String, String)> = Vec::new();
     for id in &args.ids {
         let per_exp = trace_dir.as_ref().map(|_| TimelineRecorder::new());
         let inner: &dyn Recorder = per_exp
@@ -424,10 +457,17 @@ fn main() {
         // used — it forwards every event unchanged, so traces and
         // profiles are unaffected by attaching it.
         let monitor = monitoring.then(|| Monitor::new(inner, MonitorConfig::default()));
-        let rec: &dyn Recorder = monitor
+        let monitored: &dyn Recorder = monitor
             .as_ref()
             .map(|m| m as &dyn Recorder)
             .unwrap_or(inner);
+        // The tracer stacks the same way: it retains a copy of request
+        // lifecycle events and forwards the full stream unchanged.
+        let tracer = tracing.then(|| Tracer::new(monitored));
+        let rec: &dyn Recorder = tracer
+            .as_ref()
+            .map(|t| t as &dyn Recorder)
+            .unwrap_or(monitored);
         let events_before = shared.as_ref().map_or(0, TimelineRecorder::len);
         match run_experiment_traced(id, rec) {
             Ok(result) => {
@@ -459,6 +499,18 @@ fn main() {
             }
             monitor_reports.push((id.clone(), rep));
         }
+        if let Some(t) = &tracer {
+            let set = t.traces();
+            if args.requests {
+                if set.requests.is_empty() {
+                    println!("requests: {id} recorded no request traffic to trace\n");
+                } else {
+                    println!("requests: {id}");
+                    println!("{}", dl_trace::render_requests(&set, TOP_K_WATERFALLS));
+                }
+            }
+            request_reports.push((id.clone(), dl_trace::requests_json(&set, TOP_K_WATERFALLS)));
+        }
         let events = match (&per_exp, &shared) {
             (Some(t), _) => t.events(),
             (None, Some(t)) => t.events()[events_before..].to_vec(),
@@ -479,12 +531,26 @@ fn main() {
         }
         if let (Some(dir), Some(t)) = (&trace_dir, &per_exp) {
             let path = Path::new(dir).join(format!("{id}.trace.json"));
-            match std::fs::write(&path, export::chrome_trace_to_string(&t.events())) {
+            match std::fs::write(&path, chrome_trace_with_requests(&t.events())) {
                 Ok(()) => println!("trace: {} ({} events)", path.display(), t.len()),
                 Err(e) => {
                     eprintln!("error: could not write trace to {}: {e}", path.display());
                     failed = true;
                 }
+            }
+        }
+    }
+    if let Some(path) = &args.requests_json {
+        let body = request_reports
+            .iter()
+            .map(|(id, json)| format!("{{\"id\": \"{id}\", \"requests\": {json}}}"))
+            .collect::<Vec<_>>()
+            .join(",\n  ");
+        match std::fs::write(path, format!("[\n  {body}\n]\n")) {
+            Ok(()) => println!("requests json: {path}"),
+            Err(e) => {
+                eprintln!("error: could not write requests json to {path}: {e}");
+                failed = true;
             }
         }
     }
@@ -517,7 +583,7 @@ fn main() {
         }
     }
     if let (Some(path), None, Some(timeline)) = (&args.trace_path, &trace_dir, &shared) {
-        let trace = export::chrome_trace_to_string(&timeline.events());
+        let trace = chrome_trace_with_requests(&timeline.events());
         match std::fs::write(path, trace) {
             Ok(()) => println!("trace: {path} ({} events)", timeline.len()),
             Err(e) => {

@@ -32,6 +32,7 @@ pub mod e25_serving;
 pub mod e26_parallel;
 pub mod e27_cluster;
 pub mod e28_monitoring;
+pub mod e29_request_tracing;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -610,6 +610,12 @@ impl Recorder for Monitor<'_> {
     fn observe(&self, name: &str, value: f64) {
         self.inner.observe(name, value);
     }
+
+    fn observe_exemplar(&self, name: &str, value: f64, exemplar: u64) {
+        // Forward verbatim so exemplar slots in the inner recorder's
+        // histograms match an unmonitored run bit-for-bit.
+        self.inner.observe_exemplar(name, value, exemplar);
+    }
 }
 
 /// Aggregated live-series snapshot for one scope.

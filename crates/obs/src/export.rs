@@ -65,16 +65,93 @@ fn chrome_record(event: &Event) -> String {
     out
 }
 
+/// Which edge of a flow arrow a [`Flow`] record marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The arrow's origin (Chrome `ph: "s"`).
+    Start,
+    /// The arrow's destination (Chrome `ph: "f"`).
+    Finish,
+}
+
+/// One edge of a cross-track handoff arrow in the Chrome trace
+/// (`ph: "s"` / `ph: "f"` flow events). Two records sharing an `id` —
+/// one [`FlowPhase::Start`], one [`FlowPhase::Finish`] — render as an
+/// arrow in Perfetto, e.g. from a router dispatch on one track to the
+/// admission on the target replica's track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Arrow identity: the start and finish edges of one arrow share it.
+    pub id: u64,
+    /// Arrow name (Chrome `name`; both edges should agree).
+    pub name: String,
+    /// Timestamp of this edge in microseconds.
+    pub ts_micros: u64,
+    /// Track (Chrome `tid`) this edge anchors to.
+    pub track: u32,
+    /// Start or finish edge.
+    pub phase: FlowPhase,
+}
+
+/// Renders one flow edge as a Chrome `trace_event` object (keys sorted).
+fn flow_record(flow: &Flow) -> String {
+    let mut out = String::new();
+    // Finish edges bind to the enclosing slice (`bp:"e"`), which lets
+    // Perfetto attach the arrowhead to instants and spans alike.
+    if flow.phase == FlowPhase::Finish {
+        out.push_str("{\"bp\":\"e\",\"cat\":\"flow\",\"id\":");
+    } else {
+        out.push_str("{\"cat\":\"flow\",\"id\":");
+    }
+    out.push_str(&flow.id.to_string());
+    out.push_str(",\"name\":");
+    write_json_string(&mut out, &flow.name);
+    out.push_str(",\"ph\":\"");
+    out.push_str(match flow.phase {
+        FlowPhase::Start => "s",
+        FlowPhase::Finish => "f",
+    });
+    out.push_str(&format!(
+        "\",\"pid\":0,\"tid\":{},\"ts\":{}",
+        flow.track, flow.ts_micros
+    ));
+    out.push('}');
+    out
+}
+
 /// Writes `events` as a Chrome `trace_event` JSON array, loadable by
 /// `chrome://tracing` and Perfetto. One record per line, keys sorted.
 ///
 /// # Errors
 /// Propagates sink I/O errors.
 pub fn write_chrome_trace(events: &[Event], sink: &mut dyn Write) -> io::Result<()> {
+    write_chrome_trace_with_flows(events, &[], sink)
+}
+
+/// Writes `events` plus `flows` as a Chrome `trace_event` JSON array:
+/// the regular records first in event order, then the flow edges in the
+/// order given (callers sort them deterministically), so the output is
+/// byte-stable for a fixed input.
+///
+/// # Errors
+/// Propagates sink I/O errors.
+pub fn write_chrome_trace_with_flows(
+    events: &[Event],
+    flows: &[Flow],
+    sink: &mut dyn Write,
+) -> io::Result<()> {
     sink.write_all(b"[\n")?;
+    let total = events.len() + flows.len();
     for (i, event) in events.iter().enumerate() {
         sink.write_all(chrome_record(event).as_bytes())?;
-        if i + 1 < events.len() {
+        if i + 1 < total {
+            sink.write_all(b",")?;
+        }
+        sink.write_all(b"\n")?;
+    }
+    for (i, flow) in flows.iter().enumerate() {
+        sink.write_all(flow_record(flow).as_bytes())?;
+        if events.len() + i + 1 < total {
             sink.write_all(b",")?;
         }
         sink.write_all(b"\n")?;
@@ -177,5 +254,55 @@ mod tests {
     fn empty_trace_is_still_valid() {
         assert_eq!(chrome_trace_to_string(&[]), "[\n]\n");
         assert_eq!(json_lines_to_string(&[]), "");
+    }
+
+    fn sample_flows() -> Vec<Flow> {
+        vec![
+            Flow {
+                id: 9,
+                name: "serve.handoff".to_string(),
+                ts_micros: 100,
+                track: 0,
+                phase: FlowPhase::Start,
+            },
+            Flow {
+                id: 9,
+                name: "serve.handoff".to_string(),
+                ts_micros: 250,
+                track: 3,
+                phase: FlowPhase::Finish,
+            },
+        ]
+    }
+
+    #[test]
+    fn flow_edges_render_as_s_and_f_records() {
+        let mut buf = Vec::new();
+        write_chrome_trace_with_flows(&sample_events(), &sample_flows(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains(
+            r#"{"cat":"flow","id":9,"name":"serve.handoff","ph":"s","pid":0,"tid":0,"ts":100}"#
+        ));
+        assert!(s.contains(
+            r#"{"bp":"e","cat":"flow","id":9,"name":"serve.handoff","ph":"f","pid":0,"tid":3,"ts":250}"#
+        ));
+        // Still one valid JSON array: every line but the last two ends
+        // with a comma, and the bracket closes it.
+        assert!(s.starts_with("[\n") && s.ends_with("]\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), sample_events().len() + 2 + 2);
+        for line in &lines[1..lines.len() - 2] {
+            assert!(line.ends_with(','), "interior line unterminated: {line}");
+        }
+    }
+
+    #[test]
+    fn flows_alone_form_a_valid_array() {
+        let mut buf = Vec::new();
+        write_chrome_trace_with_flows(&[], &sample_flows(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("[\n") && s.ends_with("]\n"));
+        assert_eq!(s.matches("\"cat\":\"flow\"").count(), 2);
+        assert!(!s.contains("\n,"), "comma placement stays on the record line");
     }
 }

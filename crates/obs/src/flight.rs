@@ -110,6 +110,10 @@ impl Recorder for FlightRecorder {
     fn observe(&self, name: &str, value: f64) {
         self.metrics.observe(name, value)
     }
+
+    fn observe_exemplar(&self, name: &str, value: f64, exemplar: u64) {
+        self.metrics.observe_exemplar(name, value, exemplar)
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ pub mod flight;
 pub mod recorder;
 
 pub use clock::VirtualClock;
+pub use export::{Flow, FlowPhase};
 pub use field::{FieldValue, Fields, ToFields};
 pub use flight::FlightRecorder;
 pub use recorder::{

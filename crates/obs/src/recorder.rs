@@ -93,6 +93,17 @@ pub trait Recorder: Send + Sync {
     /// Records `value` into the named log-scale histogram.
     fn observe(&self, name: &str, value: f64);
 
+    /// Records `value` into the named histogram and offers `exemplar`
+    /// (a request/sample id) for the bucket it lands in. Buckets keep the
+    /// *first* exemplar offered (see [`Histogram::observe_exemplar`]), so
+    /// a fat tail bucket points at a concrete trace to pull up. The
+    /// default implementation drops the exemplar and just observes;
+    /// aggregating recorders override it.
+    fn observe_exemplar(&self, name: &str, value: f64, exemplar: u64) {
+        let _ = exemplar;
+        self.observe(name, value);
+    }
+
     /// Opens a span named `name` on `track` at the current virtual time.
     fn span_start(&self, track: u32, name: &str, fields: Fields) -> SpanId {
         self.record(Event {
@@ -163,6 +174,11 @@ pub const HISTOGRAM_MIN_EXP: i32 = -30;
 pub struct Histogram {
     /// Per-bucket observation counts.
     pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Per-bucket exemplar slots: the id (request id, sample index…) of
+    /// the *first* observation that landed in each bucket, when the
+    /// observer offered one via [`Histogram::observe_exemplar`]. Links an
+    /// anonymous tail bucket back to a concrete trace.
+    pub exemplars: [Option<u64>; HISTOGRAM_BUCKETS],
     /// Total observations.
     pub count: u64,
     /// Sum of all observed values.
@@ -177,6 +193,7 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             buckets: [0; HISTOGRAM_BUCKETS],
+            exemplars: [None; HISTOGRAM_BUCKETS],
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -205,6 +222,27 @@ impl Histogram {
             self.min = self.min.min(value);
             self.max = self.max.max(value);
         }
+    }
+
+    /// Records one observation and offers `exemplar` for its bucket.
+    ///
+    /// Slots follow a deterministic keep-first rule: the first exemplar
+    /// offered to a bucket sticks for the lifetime of the histogram (one
+    /// "roll" of the window for rolling consumers); later observations
+    /// never evict it. Replays of the same observation stream therefore
+    /// reproduce the same exemplars bit-for-bit.
+    pub fn observe_exemplar(&mut self, value: f64, exemplar: u64) {
+        let bucket = Self::bucket_index(value);
+        if self.exemplars[bucket].is_none() {
+            self.exemplars[bucket] = Some(exemplar);
+        }
+        self.observe(value);
+    }
+
+    /// The exemplar id held by `bucket`, if any observation offered one.
+    #[must_use]
+    pub fn exemplar(&self, bucket: usize) -> Option<u64> {
+        self.exemplars.get(bucket).copied().flatten()
     }
 
     /// Mean of the observed values (0 when empty).
@@ -236,6 +274,30 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Index of the bucket containing the `q`-quantile observation, or
+    /// `None` when the histogram is empty. Pair with
+    /// [`Histogram::exemplar`] to pull a concrete trace out of the tail:
+    /// `h.quantile_bucket(0.99).and_then(|b| h.exemplar(b))`.
+    #[must_use]
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        let mut last_nonempty = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 {
+                last_nonempty = i;
+            }
+            if seen > rank {
+                return Some(i);
+            }
+        }
+        Some(last_nonempty)
     }
 
     /// Median (upper bucket edge).
@@ -272,10 +334,17 @@ impl Histogram {
     /// *and* associative bit-for-bit, so sharded histograms (per-replica,
     /// per-window) combine into the same quantile estimates regardless of
     /// merge order. Only `sum` is subject to f64 rounding: commutative
-    /// exactly (a+b == b+a), associative only approximately.
+    /// exactly (a+b == b+a), associative only approximately. Exemplar
+    /// slots keep-first across the merge too — `self`'s exemplar wins
+    /// when both sides hold one — so merging shards in time order
+    /// preserves the keep-first law of the combined stream (and makes
+    /// exemplars the one field where merge order matters).
     pub fn merge(&mut self, other: &Histogram) {
         for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
             *b += o;
+        }
+        for (e, &o) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            *e = e.or(o);
         }
         self.count += other.count;
         self.sum += other.sum;
@@ -325,6 +394,14 @@ impl MetricsCore {
     pub(crate) fn observe(&self, name: &str, value: f64) {
         let mut hists = self.histograms.lock().expect("histogram lock");
         hists.entry(name.to_string()).or_default().observe(value);
+    }
+
+    pub(crate) fn observe_exemplar(&self, name: &str, value: f64, exemplar: u64) {
+        let mut hists = self.histograms.lock().expect("histogram lock");
+        hists
+            .entry(name.to_string())
+            .or_default()
+            .observe_exemplar(value, exemplar);
     }
 
     pub(crate) fn counters(&self) -> BTreeMap<String, u64> {
@@ -449,6 +526,10 @@ impl Recorder for TimelineRecorder {
 
     fn observe(&self, name: &str, value: f64) {
         self.metrics.observe(name, value)
+    }
+
+    fn observe_exemplar(&self, name: &str, value: f64, exemplar: u64) {
+        self.metrics.observe_exemplar(name, value, exemplar)
     }
 }
 
@@ -737,6 +818,107 @@ mod tests {
         both.merge(&Histogram::default());
         assert_eq!(both.count, 0);
         assert_eq!(both.to_fields(), Histogram::default().to_fields());
+    }
+
+    #[test]
+    fn exemplars_keep_first_per_bucket_deterministically() {
+        let mut h = Histogram::default();
+        h.observe(1.5); // no exemplar offered: slot stays empty
+        assert_eq!(h.exemplar(Histogram::bucket_index(1.5)), None);
+        h.observe_exemplar(1.5, 7);
+        h.observe_exemplar(1.9, 8); // same bucket: first offer sticks
+        h.observe_exemplar(64.0, 42);
+        assert_eq!(h.exemplar(Histogram::bucket_index(1.5)), Some(7));
+        assert_eq!(h.exemplar(Histogram::bucket_index(64.0)), Some(42));
+        assert_eq!(h.count, 4);
+        // Replaying the same stream reproduces the same slots.
+        let mut replay = Histogram::default();
+        replay.observe(1.5);
+        replay.observe_exemplar(1.5, 7);
+        replay.observe_exemplar(1.9, 8);
+        replay.observe_exemplar(64.0, 42);
+        assert_eq!(h, replay);
+    }
+
+    #[test]
+    fn exemplar_merge_preserves_keep_first_of_the_combined_stream() {
+        // Property: splitting a stream at any point and merging the two
+        // halves in time order yields exactly the exemplars of observing
+        // the whole stream into one histogram.
+        let ids: Vec<u64> = (0..200).collect();
+        let values = value_stream(77, 200);
+        let mut whole = Histogram::default();
+        for (&v, &id) in values.iter().zip(&ids) {
+            whole.observe_exemplar(v, id);
+        }
+        for split in [0usize, 1, 50, 199, 200] {
+            let mut early = Histogram::default();
+            let mut late = Histogram::default();
+            for (i, (&v, &id)) in values.iter().zip(&ids).enumerate() {
+                if i < split {
+                    early.observe_exemplar(v, id);
+                } else {
+                    late.observe_exemplar(v, id);
+                }
+            }
+            early.merge(&late);
+            assert_eq!(early.exemplars, whole.exemplars, "split at {split}");
+            assert_eq!(early.buckets, whole.buckets, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn quantile_bucket_links_tail_to_exemplar() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_bucket(0.99), None, "empty has no bucket");
+        for i in 0..1000u64 {
+            if i == 500 {
+                h.observe_exemplar(8.0, 99_999); // lone deep-tail stall
+            } else {
+                h.observe_exemplar(1e-3, i);
+            }
+        }
+        let body = h.quantile_bucket(0.50).expect("non-empty");
+        assert_eq!(body, Histogram::bucket_index(1e-3));
+        assert_eq!(h.exemplar(body), Some(0), "first fast request sticks");
+        let tail = h.quantile_bucket(1.0).expect("non-empty");
+        assert_eq!(tail, Histogram::bucket_index(8.0));
+        assert_eq!(h.exemplar(tail), Some(99_999), "tail names the stall");
+    }
+
+    #[test]
+    fn exemplars_do_not_change_the_exported_summary_schema() {
+        // Byte-stability property: an exemplar-carrying histogram exports
+        // the same summary fields (and the same JSON bytes) as the same
+        // observations without exemplars — exemplars ride alongside, they
+        // never perturb the committed baseline schema.
+        let values = value_stream(13, 150);
+        let mut plain = Histogram::default();
+        let mut tagged = Histogram::default();
+        for (i, &v) in values.iter().enumerate() {
+            plain.observe(v);
+            tagged.observe_exemplar(v, i as u64);
+        }
+        assert_eq!(plain.to_fields(), tagged.to_fields());
+        assert_eq!(
+            crate::export::fields_to_json(&plain.to_fields()),
+            crate::export::fields_to_json(&tagged.to_fields()),
+        );
+    }
+
+    #[test]
+    fn recorder_observe_exemplar_aggregates_and_defaults_degrade() {
+        let rec = TimelineRecorder::new();
+        rec.observe_exemplar("lat", 2.0, 17);
+        rec.observe_exemplar("lat", 2.5, 18);
+        let h = rec.histogram("lat").expect("observed");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.exemplar(Histogram::bucket_index(2.0)), Some(17));
+        // Flight recorder aggregates too; null recorder stays silent.
+        let flight = crate::FlightRecorder::new(4);
+        flight.observe_exemplar("lat", 2.0, 3);
+        assert_eq!(flight.histogram("lat").expect("observed").count, 1);
+        NullRecorder::new().observe_exemplar("lat", 2.0, 3);
     }
 
     #[test]

@@ -85,6 +85,82 @@ fn golden_file_is_loadable_trace_event_json() {
     assert_eq!(depth, 0, "unbalanced span edges");
 }
 
+/// The golden scenario plus two flow arrows: a cross-track handoff from
+/// the driver track to worker 2 (crash → rejoin causality) and a second
+/// arrow inside track 0 (checkpoint → rollback ordering).
+fn flow_scenario() -> (TimelineRecorder, Vec<export::Flow>) {
+    let rec = scenario();
+    let flows = vec![
+        export::Flow {
+            id: 1,
+            name: "handoff".to_string(),
+            ts_micros: 875_000,
+            track: 0,
+            phase: export::FlowPhase::Start,
+        },
+        export::Flow {
+            id: 1,
+            name: "handoff".to_string(),
+            ts_micros: 968_750,
+            track: 2,
+            phase: export::FlowPhase::Finish,
+        },
+        export::Flow {
+            id: 2,
+            name: "retry".to_string(),
+            ts_micros: 937_500,
+            track: 0,
+            phase: export::FlowPhase::Start,
+        },
+        export::Flow {
+            id: 2,
+            name: "retry".to_string(),
+            ts_micros: 968_750,
+            track: 0,
+            phase: export::FlowPhase::Finish,
+        },
+    ];
+    (rec, flows)
+}
+
+#[test]
+fn chrome_trace_with_flows_matches_golden_file() {
+    let (rec, flows) = flow_scenario();
+    let mut buf = Vec::new();
+    export::write_chrome_trace_with_flows(&rec.events(), &flows, &mut buf)
+        .expect("in-memory sink");
+    let rendered = String::from_utf8(buf).expect("utf-8");
+    if std::env::var_os("DL_OBS_REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/chrome_trace_flows.json"
+        );
+        std::fs::write(path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = include_str!("golden/chrome_trace_flows.json");
+    assert_eq!(
+        rendered, golden,
+        "flow-event Chrome trace drifted from tests/golden/chrome_trace_flows.json; \
+         if the change is intentional, rerun with DL_OBS_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn flow_golden_file_pairs_every_arrow() {
+    // Each flow id must appear exactly twice — once as ph:"s", once as
+    // ph:"f" with the binding-point marker — or Perfetto drops the arrow.
+    let golden = include_str!("golden/chrome_trace_flows.json");
+    for id in [1, 2] {
+        let start = format!("{{\"cat\":\"flow\",\"id\":{id},");
+        let finish = format!("{{\"bp\":\"e\",\"cat\":\"flow\",\"id\":{id},");
+        assert_eq!(golden.matches(&start).count(), 1, "flow {id} start");
+        assert_eq!(golden.matches(&finish).count(), 1, "flow {id} finish");
+    }
+    assert!(golden.contains("\"ph\":\"s\""));
+    assert!(golden.contains("\"ph\":\"f\""));
+}
+
 #[test]
 fn json_lines_round_trips_the_same_scenario() {
     let rec = scenario();

@@ -427,8 +427,19 @@ pub fn serve_cluster(
                         if (attempts[id] as usize) < cfg.retry.max_retries {
                             attempts[id] += 1;
                             match dispatch(
-                                req, None, now, cfg, &mut router, &mut replicas, registry,
-                                &mut deliveries, &mut seq, &mut home, rec,
+                                req,
+                                None,
+                                dl_trace::DispatchKind::Retry,
+                                attempts[id],
+                                now,
+                                cfg,
+                                &mut router,
+                                &mut replicas,
+                                registry,
+                                &mut deliveries,
+                                &mut seq,
+                                &mut home,
+                                rec,
                             ) {
                                 true => {
                                     retried += 1;
@@ -437,11 +448,27 @@ pub fn serve_cluster(
                                 false => {
                                     lost += 1;
                                     rec.add_counter("cluster.lost", 1);
+                                    dl_trace::emit_lost(
+                                        rec,
+                                        worker as u32 * n_variants,
+                                        dl_trace::SpanContext {
+                                            request: dl_trace::RequestId(req.id),
+                                            attempt: attempts[id],
+                                        },
+                                    );
                                 }
                             }
                         } else {
                             lost += 1;
                             rec.add_counter("cluster.lost", 1);
+                            dl_trace::emit_lost(
+                                rec,
+                                worker as u32 * n_variants,
+                                dl_trace::SpanContext {
+                                    request: dl_trace::RequestId(req.id),
+                                    attempt: attempts[id],
+                                },
+                            );
                         }
                     }
                     retire_if_drained(&mut replicas, worker);
@@ -495,18 +522,45 @@ pub fn serve_cluster(
                 if (attempts[id] as usize) < cfg.retry.max_retries {
                     attempts[id] += 1;
                     if dispatch(
-                        d.req, Some(d.replica), now, cfg, &mut router, &mut replicas, registry,
-                        &mut deliveries, &mut seq, &mut home, rec,
+                        d.req,
+                        Some(d.replica),
+                        dl_trace::DispatchKind::Retry,
+                        attempts[id],
+                        now,
+                        cfg,
+                        &mut router,
+                        &mut replicas,
+                        registry,
+                        &mut deliveries,
+                        &mut seq,
+                        &mut home,
+                        rec,
                     ) {
                         retried += 1;
                         rec.add_counter("cluster.retried", 1);
                     } else {
                         lost += 1;
                         rec.add_counter("cluster.lost", 1);
+                        dl_trace::emit_lost(
+                            rec,
+                            d.replica as u32 * n_variants,
+                            dl_trace::SpanContext {
+                                request: dl_trace::RequestId(d.req.id),
+                                attempt: attempts[id],
+                            },
+                        );
                     }
                 } else {
                     lost += 1;
                     rec.add_counter("cluster.lost", 1);
+                    dl_trace::emit_lost(
+                        rec,
+                        d.replica as u32 * n_variants,
+                        dl_trace::SpanContext {
+                            request: dl_trace::RequestId(d.req.id),
+                            attempt: attempts[id],
+                        },
+                    );
                 }
             } else {
                 let _ = target
@@ -522,8 +576,19 @@ pub fn serve_cluster(
             let id = h.id as usize;
             if !completed[id]
                 && dispatch(
-                    requests[id], Some(home[id]), now, cfg, &mut router, &mut replicas, registry,
-                    &mut deliveries, &mut seq, &mut home, rec,
+                    requests[id],
+                    Some(home[id]),
+                    dl_trace::DispatchKind::Hedge,
+                    attempts[id],
+                    now,
+                    cfg,
+                    &mut router,
+                    &mut replicas,
+                    registry,
+                    &mut deliveries,
+                    &mut seq,
+                    &mut home,
+                    rec,
                 )
             {
                 hedged += 1;
@@ -540,8 +605,19 @@ pub fn serve_cluster(
                 a.observe_arrival(req.arrival_s);
             }
             if dispatch(
-                req, None, now, cfg, &mut router, &mut replicas, registry, &mut deliveries,
-                &mut seq, &mut home, rec,
+                req,
+                None,
+                dl_trace::DispatchKind::Primary,
+                0,
+                now,
+                cfg,
+                &mut router,
+                &mut replicas,
+                registry,
+                &mut deliveries,
+                &mut seq,
+                &mut home,
+                rec,
             ) {
                 if let Some(delay) = cfg.retry.hedge_delay_s {
                     hedges.push(Reverse(HedgeTimer {
@@ -554,6 +630,7 @@ pub fn serve_cluster(
             } else {
                 unavailable += 1;
                 rec.add_counter("cluster.unavailable", 1);
+                dl_trace::emit_unavailable(rec, 0, req.id);
             }
             continue;
         }
@@ -681,10 +758,19 @@ fn retire_if_drained(replicas: &mut [Replica], i: usize) {
 /// either admits it instantly (zero dispatch latency) or schedules a
 /// delivery inflated by the current link factor. Returns false when no
 /// replica is eligible.
+///
+/// `kind`/`attempt` describe the causal context ([`dl_trace::SpanContext`])
+/// of this dispatch. The trace edge is emitted for every retry and hedge,
+/// and for primaries only when delivery is delayed: an instantaneous
+/// primary dispatch is indistinguishable from single-node admission, and
+/// leaving it implicit keeps a fault-free one-replica cluster's timeline
+/// bit-identical to single-node serving.
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     req: Request,
     exclude: Option<usize>,
+    kind: dl_trace::DispatchKind,
+    attempt: u32,
     now: f64,
     cfg: &ClusterConfig,
     router: &mut Router,
@@ -712,6 +798,18 @@ fn dispatch(
     } else {
         0.0
     };
+    if delay > 0.0 || kind != dl_trace::DispatchKind::Primary {
+        dl_trace::emit_dispatch(
+            rec,
+            target as u32 * registry.variants.len() as u32,
+            dl_trace::SpanContext {
+                request: dl_trace::RequestId(req.id),
+                attempt,
+            },
+            target,
+            kind,
+        );
+    }
     if delay > 0.0 {
         deliveries.push(Reverse(Delivery {
             at_s: now + delay,
@@ -905,6 +1003,47 @@ mod tests {
             r.serve.offered
         );
         assert!(r.serve.served <= r.serve.offered, "dedup holds");
+    }
+
+    #[test]
+    fn every_wasted_hedge_twin_emits_a_loser_instant() {
+        let (mut reg, eval) = family_and_data();
+        let reqs = load(300_000.0, 400, 24, eval.x.dims()[0]);
+        let faults = FaultPlan::new(vec![dl_distributed::FaultEvent::Straggler {
+            worker: 0,
+            slowdown: 50.0,
+            from_step: 0,
+            to_step: 64,
+        }]);
+        let horizon_s = reqs.last().unwrap().arrival_s * 1.5;
+        let cfg = ClusterConfig {
+            retry: RetryPolicy::hedged(1, 2e-5),
+            faults,
+            seconds_per_step: horizon_s / 64.0,
+            ..ClusterConfig::new(2, base_cfg())
+        };
+        let rec = TimelineRecorder::new();
+        let r = serve_cluster(&mut reg, &eval, &reqs, &cfg, &rec);
+        let wasted: usize = r.per_replica.iter().map(|p| p.wasted).sum();
+        assert!(wasted > 0, "scenario must produce losing twins");
+        let losers = rec
+            .events()
+            .iter()
+            .filter(|e| e.name == "hedge.loser")
+            .count();
+        assert_eq!(
+            losers, wasted,
+            "each deduped completion must be visible as a hedge.loser instant"
+        );
+        // Every loser names the request and replica that burned the slot.
+        for e in rec.events().iter().filter(|e| e.name == "hedge.loser") {
+            for key in ["request", "replica", "elapsed_s"] {
+                assert!(
+                    e.fields.iter().any(|(k, _)| k == key),
+                    "hedge.loser missing field {key}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct ReplicaEngine {
     wasted: usize,
     first_arrival: f64,
     last_completion: f64,
+    /// Monotone per-replica batch sequence number, stamped on the
+    /// `serve.batch` span and each member's `serve.batch_join` instant so
+    /// traces can name the batch a request rode in.
+    batch_seq: u64,
 }
 
 impl ReplicaEngine {
@@ -136,6 +140,7 @@ impl ReplicaEngine {
             wasted: 0,
             first_arrival: f64::INFINITY,
             last_completion: 0.0,
+            batch_seq: 0,
         }
     }
 
@@ -201,12 +206,23 @@ impl ReplicaEngine {
         for (i, req) in fl.requests.iter().enumerate() {
             if !fresh(req) {
                 self.wasted += 1;
+                // The losing copy of a hedge race: it burned a batch slot
+                // but another replica had already answered.
+                dl_trace::emit_hedge_loser(
+                    rec,
+                    self.track_base + fl.variant as u32,
+                    req.id,
+                    self.replica,
+                    fl.done_s - req.arrival_s,
+                );
                 continue;
             }
             served += 1;
             let latency = fl.done_s - req.arrival_s;
             self.latencies.push(latency);
-            rec.observe("serve.latency_s", latency);
+            // The request id rides along as a bucket exemplar, linking
+            // histogram tail buckets back to concrete waterfalls.
+            rec.observe_exemplar("serve.latency_s", latency, req.id);
             if rec.enabled() {
                 // The structured per-request sample the monitor tier
                 // subscribes to (skipped entirely on the NullRecorder
@@ -237,7 +253,7 @@ impl ReplicaEngine {
         self.downgraded += downgrades;
         rec.add_counter("serve.served", served as u64);
         rec.add_counter("serve.downgraded", downgrades as u64);
-        rec.span_end(fl.span, fields! { "batch" => b });
+        rec.span_end(fl.span, fields! { "batch" => b, "replica" => self.replica });
         self.last_completion = self.last_completion.max(fl.done_s);
         true
     }
@@ -350,6 +366,16 @@ impl ReplicaEngine {
                     )
             });
         let Some(v) = ready else { return false };
+        // Why this batch flushed *now*, mirroring `BatchPolicy::ready`'s
+        // precedence: a full queue flushes regardless, drain mode flushes
+        // whatever is left, and otherwise the head request aged out.
+        let trigger = if self.queues[v].len() >= cfg.batch.max_batch {
+            dl_trace::FlushTrigger::Full
+        } else if drain {
+            dl_trace::FlushTrigger::Drain
+        } else {
+            dl_trace::FlushTrigger::Aged
+        };
         let b = self.queues[v].len().min(cfg.batch.max_batch);
         let mut requests = Vec::with_capacity(b);
         let mut samples = Vec::with_capacity(b);
@@ -382,8 +408,25 @@ impl ReplicaEngine {
             fields! {
                 "variant" => registry.variants[v].name.clone(),
                 "batch" => b,
+                "replica" => self.replica,
+                "seq" => self.batch_seq,
             },
         );
+        if rec.enabled() {
+            for (pos, r) in requests.iter().enumerate() {
+                dl_trace::emit_batch_join(
+                    rec,
+                    self.track_base + v as u32,
+                    r.id,
+                    self.replica,
+                    self.batch_seq,
+                    pos,
+                    b,
+                    trigger,
+                );
+            }
+        }
+        self.batch_seq += 1;
         self.in_flight = Some(InFlight {
             variant: v,
             done_s: now_s + dur,
@@ -403,7 +446,10 @@ impl ReplicaEngine {
     pub fn crash_drain(&mut self, rec: &dyn Recorder) -> Vec<Request> {
         let mut lost = Vec::new();
         if let Some(fl) = self.in_flight.take() {
-            rec.span_end(fl.span, fields! { "batch" => fl.requests.len(), "crashed" => true });
+            rec.span_end(
+                fl.span,
+                fields! { "batch" => fl.requests.len(), "crashed" => true, "replica" => self.replica },
+            );
             lost.extend(fl.requests);
         }
         for (q, flags) in self.queues.iter_mut().zip(&mut self.downgraded_pending) {

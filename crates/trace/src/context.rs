@@ -1,0 +1,287 @@
+//! Request identity, span context, and the trace event schema the
+//! serving stack emits through.
+//!
+//! `dl_serve` carries a [`SpanContext`] per request across dispatches and
+//! calls the `emit_*` helpers at each causal edge — dispatch decisions,
+//! batch membership, hedge dedup losses, terminal losses. Every helper is
+//! gated on [`Recorder::enabled`], so the `NullRecorder` path does no
+//! field construction and stays bit-identical. The instants land in the
+//! ordinary event stream, where [`crate::TraceSet::reconstruct`] (or a
+//! live [`crate::Tracer`] tap) rebuilds per-request waterfalls.
+
+use dl_obs::{fields, Recorder};
+
+/// Stable identity of one serving request — the request generators mint
+/// dense ids, and every structured sample carries it in a `"request"`
+/// field, which is what lets the analysis side stitch a request's
+/// lifecycle back together across replicas, retries, and hedges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Why a router dispatch happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DispatchKind {
+    /// First routing of a fresh arrival.
+    Primary,
+    /// Re-route after crash loss (bounded by the retry policy).
+    Retry,
+    /// Hedged duplicate racing a straggling first copy.
+    Hedge,
+}
+
+impl DispatchKind {
+    /// Stable lowercase label carried in the `"kind"` field.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchKind::Primary => "primary",
+            DispatchKind::Retry => "retry",
+            DispatchKind::Hedge => "hedge",
+        }
+    }
+
+    /// Inverse of [`DispatchKind::label`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "primary" => Some(DispatchKind::Primary),
+            "retry" => Some(DispatchKind::Retry),
+            "hedge" => Some(DispatchKind::Hedge),
+            _ => None,
+        }
+    }
+}
+
+/// The causal context one request carries through the serving stack: its
+/// identity plus how many times it has been re-dispatched. The cluster
+/// driver keeps one per in-flight request and stamps both onto every
+/// dispatch edge it emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The request this context belongs to.
+    pub request: RequestId,
+    /// Re-dispatch count (0 on the primary attempt).
+    pub attempt: u32,
+}
+
+impl SpanContext {
+    /// Context for a fresh arrival (attempt 0).
+    #[must_use]
+    pub fn new(request: u64) -> Self {
+        SpanContext {
+            request: RequestId(request),
+            attempt: 0,
+        }
+    }
+
+    /// The context after one more re-dispatch.
+    #[must_use]
+    pub fn retry(self) -> Self {
+        SpanContext {
+            request: self.request,
+            attempt: self.attempt + 1,
+        }
+    }
+}
+
+/// What made a batch flush when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The queue reached `max_batch`.
+    Full,
+    /// The head request aged past `max_delay_s`.
+    Aged,
+    /// End-of-run drain (no future arrivals can top the batch up).
+    Drain,
+}
+
+impl FlushTrigger {
+    /// Stable lowercase label carried in the `"trigger"` field.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushTrigger::Full => "full",
+            FlushTrigger::Aged => "aged",
+            FlushTrigger::Drain => "drain",
+        }
+    }
+}
+
+/// Event names of the per-request trace schema. The serving engine emits
+/// some of these directly (`serve.admit`, `serve.complete`, …); the
+/// `emit_*` helpers below cover the causal edges added by the tracing
+/// layer. Reconstruction taps exactly this set.
+pub mod names {
+    /// Router dispatch decision (`request`, `replica`, `attempt`, `kind`).
+    pub const DISPATCH: &str = "serve.dispatch";
+    /// Batch membership at flush (`request`, `replica`, `seq`, `pos`,
+    /// `size`, `trigger`).
+    pub const BATCH_JOIN: &str = "serve.batch_join";
+    /// A completed copy discarded by hedge dedup (`request`, `replica`,
+    /// `elapsed_s`).
+    pub const HEDGE_LOSER: &str = "hedge.loser";
+    /// Terminal crash loss after retries ran out (`request`, `attempt`).
+    pub const LOST: &str = "serve.lost";
+    /// Arrival that found no routable replica (`request`).
+    pub const UNAVAILABLE: &str = "serve.unavailable";
+    /// Admission accept (emitted by the engine).
+    pub const ADMIT: &str = "serve.admit";
+    /// Admission downgrade (emitted by the engine).
+    pub const DOWNGRADE: &str = "serve.downgrade";
+    /// Admission shed (emitted by the engine).
+    pub const SHED: &str = "serve.shed";
+    /// First-completion delivery (emitted by the engine).
+    pub const COMPLETE: &str = "serve.complete";
+    /// The per-batch device span (emitted by the engine; its end edges
+    /// mark when a replica's device went idle).
+    pub const BATCH_SPAN: &str = "serve.batch";
+    /// The latency histogram whose buckets carry request-id exemplars.
+    pub const LATENCY_HISTOGRAM: &str = "serve.latency_s";
+}
+
+/// Emits a router dispatch edge for `ctx` toward `replica`.
+pub fn emit_dispatch(
+    rec: &dyn Recorder,
+    track: u32,
+    ctx: SpanContext,
+    replica: usize,
+    kind: DispatchKind,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.instant(
+        track,
+        names::DISPATCH,
+        fields! {
+            "request" => ctx.request.0,
+            "replica" => replica,
+            "attempt" => ctx.attempt,
+            "kind" => kind.label(),
+        },
+    );
+}
+
+/// Emits one request's batch membership at flush time: which batch
+/// (`replica` + per-replica `seq`), where in it (`pos` of `size`), and
+/// why it flushed now (`trigger`).
+#[allow(clippy::too_many_arguments)]
+pub fn emit_batch_join(
+    rec: &dyn Recorder,
+    track: u32,
+    request: u64,
+    replica: u32,
+    seq: u64,
+    pos: usize,
+    size: usize,
+    trigger: FlushTrigger,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.instant(
+        track,
+        names::BATCH_JOIN,
+        fields! {
+            "request" => request,
+            "replica" => replica,
+            "seq" => seq,
+            "pos" => pos,
+            "size" => size,
+            "trigger" => trigger.label(),
+        },
+    );
+}
+
+/// Emits the losing copy of a hedge race: it finished service but another
+/// replica had already answered, so `elapsed_s` of work was wasted.
+pub fn emit_hedge_loser(rec: &dyn Recorder, track: u32, request: u64, replica: u32, elapsed_s: f64) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.instant(
+        track,
+        names::HEDGE_LOSER,
+        fields! {
+            "request" => request,
+            "replica" => replica,
+            "elapsed_s" => elapsed_s,
+        },
+    );
+}
+
+/// Emits a terminal crash loss for `ctx` (retries exhausted or nowhere to
+/// re-route).
+pub fn emit_lost(rec: &dyn Recorder, track: u32, ctx: SpanContext) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.instant(
+        track,
+        names::LOST,
+        fields! {
+            "request" => ctx.request.0,
+            "attempt" => ctx.attempt,
+        },
+    );
+}
+
+/// Emits an arrival that found no routable replica.
+pub fn emit_unavailable(rec: &dyn Recorder, track: u32, request: u64) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.instant(track, names::UNAVAILABLE, fields! { "request" => request });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_obs::{NullRecorder, TimelineRecorder};
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [DispatchKind::Primary, DispatchKind::Retry, DispatchKind::Hedge] {
+            assert_eq!(DispatchKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(DispatchKind::parse("bogus"), None);
+        assert_eq!(FlushTrigger::Full.label(), "full");
+        assert_eq!(format!("{}", RequestId(7)), "req-7");
+    }
+
+    #[test]
+    fn span_context_counts_attempts() {
+        let ctx = SpanContext::new(42);
+        assert_eq!(ctx.attempt, 0);
+        assert_eq!(ctx.retry().retry().attempt, 2);
+        assert_eq!(ctx.retry().request, RequestId(42));
+    }
+
+    #[test]
+    fn emits_are_gated_on_enabled() {
+        let null = NullRecorder::new();
+        emit_dispatch(&null, 0, SpanContext::new(1), 2, DispatchKind::Hedge);
+        emit_hedge_loser(&null, 0, 1, 2, 0.5);
+        let rec = TimelineRecorder::new();
+        emit_dispatch(&rec, 3, SpanContext::new(1).retry(), 2, DispatchKind::Retry);
+        emit_batch_join(&rec, 3, 1, 1, 9, 2, 8, FlushTrigger::Aged);
+        emit_lost(&rec, 3, SpanContext::new(1).retry());
+        emit_unavailable(&rec, 0, 5);
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].name, names::DISPATCH);
+        assert_eq!(events[1].name, names::BATCH_JOIN);
+        assert_eq!(events[2].name, names::LOST);
+        assert_eq!(events[3].name, names::UNAVAILABLE);
+        assert!(events[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "kind" && v.as_str() == Some("retry")));
+    }
+}

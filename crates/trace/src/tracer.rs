@@ -1,0 +1,149 @@
+//! The [`Tracer`] recorder tap: forwards every call to an inner recorder
+//! unchanged while retaining a copy of the per-request trace events.
+//!
+//! Like `dl_monitor::Monitor`, the tap reports `enabled() == true` even
+//! over a `NullRecorder`, so the serving stack emits its structured
+//! samples; the tracer keeps the request-lifecycle subset and the inner
+//! recorder sees the exact stream it would have seen untapped. Wrapping a
+//! `TimelineRecorder` therefore leaves its timeline byte-identical, and
+//! wrapping a `NullRecorder` adds tracing to an otherwise silent run.
+
+use std::sync::Mutex;
+
+use dl_obs::{Event, EventKind, Recorder, VirtualClock};
+
+use crate::context::names;
+use crate::waterfall::TraceSet;
+
+/// Returns true for events the tracer retains: the per-request instants
+/// of the trace schema plus `serve.batch` span edges (whose end edges
+/// mark device-idle boundaries for queue/batch-wait attribution).
+fn is_trace_event(event: &Event) -> bool {
+    match event.kind {
+        EventKind::Instant => matches!(
+            event.name.as_str(),
+            names::DISPATCH
+                | names::BATCH_JOIN
+                | names::HEDGE_LOSER
+                | names::LOST
+                | names::UNAVAILABLE
+                | names::ADMIT
+                | names::DOWNGRADE
+                | names::SHED
+                | names::COMPLETE
+        ),
+        EventKind::SpanStart | EventKind::SpanEnd => event.name == names::BATCH_SPAN,
+        EventKind::Counter => false,
+    }
+}
+
+/// A pure forwarding tap over any [`Recorder`] that retains the
+/// request-lifecycle events needed to reconstruct waterfalls.
+pub struct Tracer<'a> {
+    inner: &'a dyn Recorder,
+    events: Mutex<Vec<Event>>,
+}
+
+impl<'a> Tracer<'a> {
+    /// Wraps `inner`; pass the tracer wherever a `&dyn Recorder` goes.
+    #[must_use]
+    pub fn new(inner: &'a dyn Recorder) -> Self {
+        Tracer {
+            inner,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The retained trace events, in emission (record) order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("tracer events lock").clone()
+    }
+
+    /// Reconstructs per-request waterfalls from the retained events.
+    #[must_use]
+    pub fn traces(&self) -> TraceSet {
+        TraceSet::reconstruct(&self.events.lock().expect("tracer events lock"))
+    }
+}
+
+impl Recorder for Tracer<'_> {
+    fn clock(&self) -> &VirtualClock {
+        self.inner.clock()
+    }
+
+    // Always on: the engines must emit their structured samples even when
+    // the inner recorder is a NullRecorder, or there is nothing to trace.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        if is_trace_event(&event) {
+            self.events
+                .lock()
+                .expect("tracer events lock")
+                .push(event.clone());
+        }
+        self.inner.record(event);
+    }
+
+    fn add_counter(&self, name: &str, delta: u64) -> u64 {
+        self.inner.add_counter(name, delta)
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.inner.observe(name, value);
+    }
+
+    // Forwarded verbatim so exemplar slots match an untraced run
+    // bit-for-bit.
+    fn observe_exemplar(&self, name: &str, value: f64, exemplar: u64) {
+        self.inner.observe_exemplar(name, value, exemplar);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dl_obs::{fields, NullRecorder, TimelineRecorder};
+
+    #[test]
+    fn tracer_forwards_the_full_stream_unchanged() {
+        let plain = TimelineRecorder::new();
+        let tapped = TimelineRecorder::new();
+        let drive = |rec: &dyn Recorder| {
+            let span = rec.span_start(3, "serve.batch", fields! { "variant" => "full" });
+            rec.clock().advance(0.5);
+            rec.instant(3, "serve.admit", fields! { "request" => 1u64, "replica" => 0usize });
+            rec.counter(0, "cluster.lost", 1);
+            rec.observe("serve.latency_s", 0.25);
+            rec.span_end(span, fields! { "batch" => 4usize });
+            rec.instant(0, "unrelated", fields! {});
+        };
+        drive(&plain);
+        let tracer = Tracer::new(&tapped);
+        drive(&tracer);
+        assert_eq!(plain.events(), tapped.events());
+        // The tap retained only the trace schema subset.
+        let kept = tracer.events();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].name, "serve.batch");
+        assert_eq!(kept[1].name, "serve.admit");
+        assert_eq!(kept[2].name, "serve.batch");
+        // Clocks advance in lockstep because there is only one clock.
+        assert_eq!(plain.clock().now(), tapped.clock().now());
+    }
+
+    #[test]
+    fn tracer_over_null_recorder_still_collects() {
+        let null = NullRecorder::new();
+        assert!(!null.enabled());
+        let tracer = Tracer::new(&null);
+        assert!(tracer.enabled());
+        tracer.instant(0, "serve.complete", fields! { "request" => 9u64 });
+        tracer.instant(0, "not.traced", fields! {});
+        assert_eq!(tracer.events().len(), 1);
+        assert_eq!(tracer.events()[0].name, "serve.complete");
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-crate request-tracing integration: the dl-trace tap must be
+//! invisible to the serving stack (bit-identical reports, histograms, and
+//! timelines across every recorder path), and its reconstruction must
+//! conserve — every request accounted for against the engine report, and
+//! every waterfall's phases summing *exactly* to its end-to-end time.
+//!
+//! These pass unchanged under any `DL_THREADS` setting because simulated
+//! time and answers never depend on the kernel pool width.
+
+use dl_distributed::{FaultPlan, FaultProfile};
+use dl_obs::{NullRecorder, TimelineRecorder};
+use dl_serve::{
+    build_family, open_loop, serve, serve_cluster, AdmissionPolicy, BatchPolicy, ClusterConfig,
+    DeviceModel, FamilyConfig, LoadConfig, RetryPolicy, ServeConfig,
+};
+use dl_trace::{Outcome, TraceSet, Tracer};
+
+fn family_and_eval() -> (dl_serve::VariantRegistry, dl_nn::Dataset) {
+    let data = dl_data::blobs(160, 4, 10, 6.0, 0.6, 70);
+    let eval = dl_data::blobs(80, 4, 10, 6.0, 0.6, 71);
+    let family = build_family(
+        &data,
+        &eval,
+        &FamilyConfig {
+            teacher_dims: vec![10, 24, 4],
+            student_hidden: vec![6],
+            prune_sparsity: 0.7,
+            morph_budget: 260,
+            ensemble_members: 2,
+            max_batch: 16,
+            epochs: 10,
+            seed: 77,
+        },
+    );
+    (family, eval)
+}
+
+fn serve_cfg(device: DeviceModel) -> ServeConfig {
+    ServeConfig {
+        batch: BatchPolicy::dynamic(16, 6e-6),
+        admission: AdmissionPolicy::SloAware {
+            p99_slo_s: 4e-5,
+            headroom: 0.7,
+            min_accuracy: 0.0,
+        },
+        primary: "fp32-base".into(),
+        device,
+    }
+}
+
+#[test]
+fn traced_one_replica_cluster_is_bit_identical_to_untraced_single_node() {
+    let (mut family, eval) = family_and_eval();
+    let device = DeviceModel::nominal();
+    let cap1 = 1.0 / device.service_time(family.variants[0].cost_at(1));
+    let load = open_loop(
+        &LoadConfig {
+            rate_rps: 4.0 * cap1,
+            requests: 400,
+            seed: 5,
+        },
+        eval.x.dims()[0],
+    );
+    let cfg = serve_cfg(device);
+
+    // Reference: untraced single-node serving on a plain timeline.
+    let single_rec = TimelineRecorder::new();
+    let single = serve(&mut family, &eval, &load, &cfg, &single_rec);
+
+    // Traced 1-replica cluster: the Tracer tap wraps the timeline.
+    let cluster_rec = TimelineRecorder::new();
+    let tracer = Tracer::new(&cluster_rec);
+    let cluster = serve_cluster(
+        &mut family,
+        &eval,
+        &load,
+        &ClusterConfig::new(1, cfg.clone()),
+        &tracer,
+    );
+
+    assert_eq!(cluster.serve, single, "tracing changed the serving outcome");
+    assert_eq!(
+        cluster_rec.histogram("serve.latency_s"),
+        single_rec.histogram("serve.latency_s"),
+        "latency histograms (including exemplar slots) must be bit-identical"
+    );
+    assert_eq!(
+        cluster_rec.events(),
+        single_rec.events(),
+        "the inner timeline must not contain a single tracer-added event"
+    );
+
+    // The tap still captured a full trace while staying invisible.
+    let traces = tracer.traces();
+    traces
+        .matches_report(single.served, single.shed, 0, 0)
+        .expect("reconstruction must agree with the report");
+    traces
+        .verify_conservation()
+        .expect("every waterfall must telescope exactly");
+    assert_eq!(traces.requests.len(), single.offered);
+
+    // Exemplar linking: the p99 bucket names a concrete served request.
+    let hist = cluster_rec
+        .histogram("serve.latency_s")
+        .expect("latency histogram exists");
+    let bucket = hist.quantile_bucket(0.99).expect("non-empty histogram");
+    let exemplar = hist.exemplar(bucket).expect("tail bucket has an exemplar");
+    let linked = traces
+        .requests
+        .iter()
+        .find(|t| t.id == exemplar)
+        .expect("exemplar id resolves to a traced request");
+    assert!(
+        matches!(linked.outcome, Outcome::Served { .. }),
+        "latency exemplars come from served requests"
+    );
+}
+
+#[test]
+fn all_four_recorder_paths_agree_on_the_outcome() {
+    let (mut family, eval) = family_and_eval();
+    let device = DeviceModel::nominal();
+    let cap1 = 1.0 / device.service_time(family.variants[0].cost_at(1));
+    let load = open_loop(
+        &LoadConfig {
+            rate_rps: 3.0 * cap1,
+            requests: 250,
+            seed: 9,
+        },
+        eval.x.dims()[0],
+    );
+    let cfg = ClusterConfig::new(2, serve_cfg(device));
+
+    let null = NullRecorder::new();
+    let plain_null = serve_cluster(&mut family, &eval, &load, &cfg, &null);
+
+    let timeline = TimelineRecorder::new();
+    let plain_timeline = serve_cluster(&mut family, &eval, &load, &cfg, &timeline);
+
+    let null_inner = NullRecorder::new();
+    let traced_null = Tracer::new(&null_inner);
+    let over_null = serve_cluster(&mut family, &eval, &load, &cfg, &traced_null);
+
+    let timeline_inner = TimelineRecorder::new();
+    let traced_timeline = Tracer::new(&timeline_inner);
+    let over_timeline = serve_cluster(&mut family, &eval, &load, &cfg, &traced_timeline);
+
+    assert_eq!(plain_null, plain_timeline, "timeline recording is invisible");
+    assert_eq!(plain_null, over_null, "tracing over null is invisible");
+    assert_eq!(plain_null, over_timeline, "tracing over timeline is invisible");
+    assert_eq!(
+        timeline.events(),
+        timeline_inner.events(),
+        "the tap forwards the timeline byte-for-byte"
+    );
+    assert_eq!(
+        traced_null.events(),
+        traced_timeline.events(),
+        "the tap retains the same trace regardless of the inner recorder"
+    );
+    assert_eq!(traced_null.traces(), traced_timeline.traces());
+}
+
+#[test]
+fn crash_storm_reconstruction_conserves_every_request() {
+    let (mut family, eval) = family_and_eval();
+    let device = DeviceModel::nominal();
+    let cap1 = 1.0 / device.service_time(family.variants[0].cost_at(1));
+    let load = open_loop(
+        &LoadConfig {
+            rate_rps: 6.0 * cap1,
+            requests: 600,
+            seed: 11,
+        },
+        eval.x.dims()[0],
+    );
+    let horizon_s = load.last().unwrap().arrival_s * 1.5;
+    let faults = FaultPlan::from_profile(&FaultProfile::crashes(5, 12.0, 6.0), 3, 64);
+    assert!(faults.crash_count() >= 2, "storm must schedule crashes");
+    let cfg = ClusterConfig {
+        retry: RetryPolicy::retries(2),
+        faults,
+        seconds_per_step: horizon_s / 64.0,
+        warmup_s: horizon_s / 64.0,
+        warmup_factor: 2.0,
+        ..ClusterConfig::new(3, serve_cfg(device))
+    };
+
+    let rec = TimelineRecorder::new();
+    let tracer = Tracer::new(&rec);
+    let report = serve_cluster(&mut family, &eval, &load, &cfg, &tracer);
+    assert!(report.crashes >= 2, "crashes must fire");
+
+    let traces = tracer.traces();
+    traces
+        .matches_report(
+            report.serve.served,
+            report.serve.shed,
+            report.lost,
+            report.unavailable,
+        )
+        .expect("reconstruction must mirror the report under chaos");
+    traces
+        .verify_conservation()
+        .expect("phase sums must stay exact under crashes and retries");
+
+    // Retried-then-served requests must show their pre-branch wait.
+    if report.retried > 0 && report.lost < report.serve.offered {
+        let rerouted = traces
+            .requests
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.outcome,
+                    Outcome::Served {
+                        via: dl_trace::DispatchKind::Retry,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let lost = traces
+            .requests
+            .iter()
+            .filter(|t| matches!(t.outcome, Outcome::Lost))
+            .count();
+        assert!(
+            rerouted + lost > 0,
+            "a crash storm with retries must leave visible retry branches"
+        );
+    }
+
+    // The reconstruction is a pure function of the event stream: feeding
+    // the full timeline (not just the tap's copy) gives the same answer.
+    assert_eq!(traces, TraceSet::reconstruct(&rec.events()));
+}
