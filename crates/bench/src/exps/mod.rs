@@ -33,6 +33,7 @@ pub mod e26_parallel;
 pub mod e27_cluster;
 pub mod e28_monitoring;
 pub mod e29_request_tracing;
+pub mod e30_weight_store;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -27,6 +27,6 @@ pub mod quant;
 pub use distill::{distill, DistillConfig, DistillReport};
 pub use prune::{filter_prune, magnitude_prune, neuron_prune, saliency_prune, sparsity, PruneReport};
 pub use quant::{
-    binarize_network, quantize_network, CodebookQuantizer, HuffmanCode, QuantScheme,
-    QuantizedTensor,
+    binarize_network, quantize_network, quantize_network_tensors, CodebookQuantizer, HuffmanCode,
+    QuantScheme, QuantizedTensor,
 };

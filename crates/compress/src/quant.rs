@@ -94,9 +94,54 @@ impl QuantizedTensor {
         Tensor::from_vec(data, self.dims.as_slice()).expect("length preserved")
     }
 
+    /// Reassembles a quantized tensor from its stored parts — the inverse
+    /// of reading [`QuantizedTensor::codes`] plus the quant params, used
+    /// by the artifact loader so int8 payloads never take a dequantize
+    /// round-trip through `f32` on the way to disk and back.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= bits <= 8`, the code count matches the product
+    /// of `dims`, and every code fits in `bits`.
+    #[must_use]
+    pub fn from_parts(codes: Vec<u8>, scale: f32, zero: f32, bits: u8, dims: Vec<usize>) -> Self {
+        assert!((1..=8).contains(&bits), "bits must be 1-8, got {bits}");
+        let len: usize = dims.iter().product();
+        assert_eq!(codes.len(), len, "code count must match the dims product");
+        let levels = ((1u32 << bits) - 1) as u8;
+        assert!(
+            codes.iter().all(|&c| c <= levels),
+            "codes must fit in {bits} bits"
+        );
+        QuantizedTensor {
+            codes,
+            scale,
+            zero,
+            bits,
+            dims,
+        }
+    }
+
     /// The raw codes (one byte each before bit packing).
     pub fn codes(&self) -> &[u8] {
         &self.codes
+    }
+
+    /// The affine scale (`value = zero + scale * code`).
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The affine zero point (`value = zero + scale * code`).
+    #[must_use]
+    pub fn zero_point(&self) -> f32 {
+        self.zero
+    }
+
+    /// The logical tensor dimensions the codes reshape into.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
     }
 
     /// Storage in bytes after bit packing: `ceil(len * bits / 8)` plus the
@@ -399,6 +444,10 @@ impl QuantReport {
 ///
 /// Biases are small; they are quantized too for honesty but dominate nothing.
 pub fn quantize_network(net: &Network, scheme: QuantScheme) -> (Network, QuantReport) {
+    if let QuantScheme::Affine { bits } = scheme {
+        let (out, report, _) = quantize_network_tensors(net, bits);
+        return (out, report);
+    }
     let mut out = net.clone();
     let mut original = 0usize;
     let mut compressed = 0usize;
@@ -444,6 +493,55 @@ pub fn quantize_network(net: &Network, scheme: QuantScheme) -> (Network, QuantRe
             compressed_bytes: compressed,
             huffman_bytes,
         },
+    )
+}
+
+/// The affine path of [`quantize_network`], additionally returning the
+/// [`QuantizedTensor`]s themselves (one per parameter tensor, in
+/// `params_and_grads` order) so callers that persist the model can store
+/// the packed codes natively instead of re-deriving them from the
+/// dequantized reconstruction.
+///
+/// The returned network and report are identical to
+/// `quantize_network(net, QuantScheme::Affine { bits })`.
+///
+/// # Panics
+/// Panics unless `1 <= bits <= 8`.
+#[must_use]
+pub fn quantize_network_tensors(
+    net: &Network,
+    bits: u8,
+) -> (Network, QuantReport, Vec<QuantizedTensor>) {
+    let mut out = net.clone();
+    let mut original = 0usize;
+    let mut compressed = 0usize;
+    let mut all_codes: Vec<u8> = Vec::new();
+    let mut tensors: Vec<QuantizedTensor> = Vec::new();
+    for layer in out.layers_mut() {
+        for (p, _) in layer.params_and_grads() {
+            original += p.len() * 4;
+            let q = QuantizedTensor::quantize(p, bits);
+            compressed += q.storage_bytes();
+            all_codes.extend_from_slice(q.codes());
+            *p = q.dequantize();
+            tensors.push(q);
+        }
+    }
+    let huffman_bytes = if all_codes.is_empty() {
+        0
+    } else {
+        let h = HuffmanCode::build(&all_codes);
+        (h.encoded_bits(&all_codes).div_ceil(8)) as usize + 256 // + length table
+    };
+    (
+        out,
+        QuantReport {
+            scheme: QuantScheme::Affine { bits }.name(),
+            original_bytes: original,
+            compressed_bytes: compressed,
+            huffman_bytes,
+        },
+        tensors,
     )
 }
 
@@ -604,6 +702,32 @@ mod tests {
         }
 
         #[test]
+        fn from_parts_roundtrip_dequantizes_bitwise(
+            seed in 0u64..500, bits in 1u8..9,
+        ) {
+            // The persistence contract: a quantized tensor rebuilt from
+            // its stored parts (codes + scale/zero/bits/dims) dequantizes
+            // to exactly the same f32 bits as the original — no
+            // dequantize round-trip happens on the way through storage.
+            let mut r = rng(seed);
+            let t = init::uniform([8, 9], -4.0, 4.0, &mut r);
+            let q = QuantizedTensor::quantize(&t, bits);
+            let rebuilt = QuantizedTensor::from_parts(
+                q.codes().to_vec(),
+                q.scale(),
+                q.zero_point(),
+                q.bits(),
+                q.dims().to_vec(),
+            );
+            let a = q.dequantize();
+            let b = rebuilt.dequantize();
+            prop_assert_eq!(a.dims(), b.dims());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        #[test]
         fn int8_roundtrip_bounded_by_step_for_arbitrary_ranges(
             values in proptest::collection::vec(-1e30f32..1e30f32, 1..200),
         ) {
@@ -654,5 +778,32 @@ mod tests {
         // binary is allowed to hurt, but the report must still be coherent
         assert!(acc1 <= 1.0);
         assert!(rep1.compressed_bytes < rep8.compressed_bytes);
+    }
+
+    #[test]
+    fn quantize_network_tensors_matches_the_affine_path_bitwise() {
+        let mut r = rng(9);
+        let net = dl_nn::Network::mlp(&[10, 12, 4], &mut r);
+        let (via_scheme, rep_scheme) = quantize_network(&net, QuantScheme::Affine { bits: 8 });
+        let (via_tensors, rep_tensors, qts) = quantize_network_tensors(&net, 8);
+        assert_eq!(rep_scheme.scheme, rep_tensors.scheme);
+        assert_eq!(rep_scheme.compressed_bytes, rep_tensors.compressed_bytes);
+        assert_eq!(rep_scheme.huffman_bytes, rep_tensors.huffman_bytes);
+        // One quantized tensor per parameter tensor, in params order, and
+        // the dequantized reconstructions are the networks' actual params.
+        assert_eq!(via_scheme.flat_params(), via_tensors.flat_params());
+        let mut b = via_tensors.clone();
+        let mut i = 0;
+        for layer in b.layers_mut() {
+            for (p, _) in layer.params_and_grads() {
+                let back = qts[i].dequantize();
+                assert_eq!(back.dims(), p.dims());
+                for (x, y) in back.data().iter().zip(p.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                i += 1;
+            }
+        }
+        assert_eq!(i, qts.len(), "every quantized tensor is accounted for");
     }
 }

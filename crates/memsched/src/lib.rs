@@ -11,6 +11,8 @@
 //!   found by Pareto dynamic programming for any memory budget.
 //! * [`offload`] — vDNN-style offloading of intermediate results over a
 //!   host link, with compute/transfer overlap modeling.
+//! * [`residency`] — reload pricing and eviction scoring for the
+//!   serving-side weight store (which models stay in device memory).
 //!
 //! Inputs are the per-layer activation sizes and FLOP counts from
 //! `dl-nn`'s cost model, so every schedule is priced against the same
@@ -20,6 +22,8 @@
 
 pub mod offload;
 pub mod remat;
+pub mod residency;
 
 pub use offload::{offload_plan, OffloadPlan};
 pub use remat::{optimal_schedule, sqrt_schedule, store_all, RematSchedule};
+pub use residency::{eviction_score, reload_cost, ReloadCost, ResidencyStats};

@@ -360,6 +360,35 @@ impl Dropout {
         }
     }
 
+    /// Reconstructs a dropout layer mid-sequence: the next training-time
+    /// mask continues the `(seed, step)` stream exactly where `step`
+    /// points, so a persisted model resumes the identical mask sequence.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    #[must_use]
+    pub fn from_state(p: f32, seed: u64, step: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+        Dropout {
+            p,
+            seed,
+            step,
+            mask: None,
+        }
+    }
+
+    /// The seed the mask stream is derived from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of training-time masks drawn so far.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if !train || self.p == 0.0 {
             self.mask = Some(Tensor::ones(x.shape().clone()));
@@ -698,6 +727,21 @@ impl BatchNorm1d {
             eps: 1e-5,
             cache: None,
         }
+    }
+
+    /// Batch norm with an explicit variance epsilon (persistence passes
+    /// the stored value back through so reconstruction is exact).
+    #[must_use]
+    pub fn with_eps(features: usize, eps: f32) -> Self {
+        let mut bn = BatchNorm1d::new(features);
+        bn.eps = eps;
+        bn
+    }
+
+    /// Numerical-stability epsilon added to the variance.
+    #[must_use]
+    pub fn eps(&self) -> f32 {
+        self.eps
     }
 
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {

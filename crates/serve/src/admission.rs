@@ -59,6 +59,12 @@ pub struct AdmissionContext<'a> {
     pub queue_lens: &'a [usize],
     /// Seconds of already-committed work: remaining in-flight batch time.
     pub busy_remaining_s: f64,
+    /// Seconds before the requested family's weights are usable on this
+    /// replica: zero when resident (warm), the modeled artifact load time
+    /// when the weight store must fault it in (cold). Added to every
+    /// variant's predicted delay, so a cold model can push an arrival
+    /// over the SLO budget that a warm one would have met.
+    pub residency_delay_s: f64,
 }
 
 impl AdmissionContext<'_> {
@@ -77,14 +83,15 @@ impl AdmissionContext<'_> {
     }
 
     /// Predicted completion delay for a request joining variant `v` now:
-    /// committed in-flight work, every queue drained ahead of it (the
-    /// server is shared), the flush-delay wait, and its own batch.
+    /// any weight-store load the request must wait for, committed
+    /// in-flight work, every queue drained ahead of it (the server is
+    /// shared), the flush-delay wait, and its own batch.
     #[must_use]
     pub fn predicted_delay_s(&self, v: usize) -> f64 {
         let queued: f64 = (0..self.queue_lens.len())
             .map(|u| self.drain_time_s(u, self.queue_lens[u] + usize::from(u == v)))
             .sum();
-        self.busy_remaining_s + queued + self.batch.max_delay_s
+        self.residency_delay_s + self.busy_remaining_s + queued + self.batch.max_delay_s
     }
 }
 
@@ -159,6 +166,7 @@ mod tests {
             batch: &BatchPolicy::dynamic(4, 1e-6),
             queue_lens: &[10_000, 0, 0, 0, 0, 0],
             busy_remaining_s: 1.0,
+            residency_delay_s: 0.0,
         };
         assert_eq!(admit(&AdmissionPolicy::AcceptAll, &ctx, 0), Decision::Accept(0));
     }
@@ -180,6 +188,7 @@ mod tests {
             batch: &batch,
             queue_lens: &empty,
             busy_remaining_s: 0.0,
+            residency_delay_s: 0.0,
         };
         assert_eq!(admit(&policy, &ctx, 0), Decision::Accept(0));
         // A second of committed work busts any millisecond SLO for every
@@ -214,6 +223,7 @@ mod tests {
             batch: &batch,
             queue_lens: &lens,
             busy_remaining_s: 0.0,
+            residency_delay_s: 0.0,
         };
         let p_target = ctx.predicted_delay_s(target);
         let p_best_other = (1..reg.variants.len())
@@ -238,5 +248,37 @@ mod tests {
             }
             other => panic!("expected downgrade, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cold_residency_delay_can_flip_an_accept_into_a_shed() {
+        let reg = small_registry();
+        let device = DeviceModel::nominal();
+        let batch = BatchPolicy::dynamic(4, 1e-6);
+        let empty = [0usize; 6];
+        let warm = AdmissionContext {
+            registry: &reg,
+            device: &device,
+            batch: &batch,
+            queue_lens: &empty,
+            busy_remaining_s: 0.0,
+            residency_delay_s: 0.0,
+        };
+        let policy = AdmissionPolicy::SloAware {
+            p99_slo_s: 1e-3,
+            headroom: 0.8,
+            min_accuracy: 0.0,
+        };
+        assert_eq!(admit(&policy, &warm, 0), Decision::Accept(0));
+        // The same empty system, but the family's weights are cold and
+        // the modeled load alone outruns the SLO. The delay applies to
+        // every variant in the family, so there is nothing to downgrade
+        // into: the only bounded answer is to shed.
+        let cold = AdmissionContext {
+            residency_delay_s: 0.01,
+            ..warm
+        };
+        assert!(cold.predicted_delay_s(0) >= warm.predicted_delay_s(0) + 0.01);
+        assert_eq!(admit(&policy, &cold, 0), Decision::Shed);
     }
 }

@@ -53,6 +53,7 @@ struct InFlight {
 }
 
 /// Everything one replica accumulated, handed back at the end of a run.
+#[derive(Debug, Clone)]
 #[must_use]
 pub struct ReplicaParts {
     /// Per-variant traffic accounting, registry order.
@@ -184,6 +185,13 @@ impl ReplicaEngine {
         self.in_flight.is_none() && self.queues.iter().all(VecDeque::is_empty)
     }
 
+    /// Requests waiting in queues — work that still needs the family's
+    /// weights (an in-flight batch already read them).
+    #[must_use]
+    pub fn queued_len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
     /// Completes the in-flight batch if it is due at `now_s`. `fresh`
     /// decides per request whether this completion counts (the cluster's
     /// hedging dedup; single-node passes `|_| true`). Returns whether a
@@ -268,6 +276,23 @@ impl ReplicaEngine {
         now_s: f64,
         rec: &dyn Recorder,
     ) -> Decision {
+        self.admit_arrival_with_residency(req, registry, cfg, now_s, 0.0, rec)
+    }
+
+    /// As [`ReplicaEngine::admit_arrival`], but charging the admission
+    /// prediction `residency_delay_s` extra seconds before the family's
+    /// weights are usable (the multi-model tier's cold-start signal;
+    /// `0.0` — always-resident weights — is exactly `admit_arrival`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_arrival_with_residency(
+        &mut self,
+        req: Request,
+        registry: &VariantRegistry,
+        cfg: &ServeConfig,
+        now_s: f64,
+        residency_delay_s: f64,
+        rec: &dyn Recorder,
+    ) -> Decision {
         self.first_arrival = self.first_arrival.min(req.arrival_s);
         let queue_lens: Vec<usize> = self.queues.iter().map(VecDeque::len).collect();
         let busy_remaining_s = self
@@ -280,6 +305,7 @@ impl ReplicaEngine {
             batch: &cfg.batch,
             queue_lens: &queue_lens,
             busy_remaining_s,
+            residency_delay_s,
         };
         let decision = admit(&cfg.admission, &ctx, self.primary);
         match decision {

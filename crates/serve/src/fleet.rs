@@ -1,0 +1,544 @@
+//! Multi-model serving: a fleet of replicas hosting many families behind
+//! one weight store per replica.
+//!
+//! The cluster tier scales one family across replicas; this tier hosts
+//! *many* families whose weights do not all fit in device memory at
+//! once. Each replica owns a [`WeightStore`] holding every family's
+//! serialized artifact under a byte budget, plus one [`ReplicaEngine`]
+//! per family (each family keeps a dedicated execution stream; the
+//! contended resource modeled here is weight memory, not compute).
+//! Arrivals are tagged with a model id and routed residency-first: a
+//! warm replica at any load beats paying a cold artifact load. A cold
+//! arrival faults the family in — evicting victims per the store's
+//! policy — and its admission prediction is charged the modeled load
+//! time, so cold starts show up in the tail *and* can flip an accept
+//! into a shed.
+//!
+//! Warm fetches cost zero simulated time and record zero events, so a
+//! one-replica one-family fleet with the family preloaded is
+//! bit-identical to single-node [`crate::serve`] — report, histogram and
+//! timeline (regression-tested below).
+
+use dl_nn::Dataset;
+use dl_obs::Recorder;
+
+use crate::engine::{assemble_report, ReplicaEngine, ReplicaParts, ServeConfig};
+use crate::load::Request;
+use crate::report::ServeReport;
+use crate::router::{Router, RouterPolicy};
+use crate::store::{EvictionPolicy, WeightStore};
+use crate::variant::VariantRegistry;
+
+/// One arrival bound for a specific model family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelRequest {
+    /// The request itself (id, arrival time, sample row).
+    pub req: Request,
+    /// Index into the served family list.
+    pub model: usize,
+}
+
+/// One fleet run's configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-engine serving configuration (batching, admission, device).
+    pub serve: ServeConfig,
+    /// Replica count; each replica gets its own weight store.
+    pub replicas: usize,
+    /// Per-replica weight-store byte budget.
+    pub store_budget_bytes: u64,
+    /// How each store picks eviction victims.
+    pub eviction: EvictionPolicy,
+    /// How arrivals spread across replicas (within the warm subset when
+    /// one exists).
+    pub router: RouterPolicy,
+    /// Preload families (in id order, first-fit against the budget) on
+    /// every replica before the clock starts — deployment-time warmup.
+    /// With a budget that fits everything this makes every fetch warm.
+    pub warm_start: bool,
+}
+
+/// What a fleet run produced.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct FleetReport {
+    /// Aggregate over every request (per-variant stats merge by index
+    /// across families, which share the standard family layout).
+    pub report: ServeReport,
+    /// One report per family, same order as the input family list.
+    pub per_model: Vec<ServeReport>,
+    /// Cold artifact loads across all replicas' stores.
+    pub cold_loads: usize,
+    /// Warm fetches across all replicas' stores.
+    pub warm_hits: usize,
+    /// Evictions across all replicas' stores.
+    pub evictions: usize,
+    /// Artifact bytes read by cold loads across all replicas.
+    pub bytes_loaded: u64,
+    /// Ids of requests that arrived while their family was cold (or
+    /// still loading) on the chosen replica — join these against
+    /// `serve.complete` timeline instants to split the latency
+    /// population into warm and cold cohorts.
+    pub cold_request_ids: Vec<u64>,
+}
+
+/// Which families on a replica may be evicted right now: those fully
+/// loaded (`ready_s` in the past) with no queued work. A family mid-load
+/// or still owing queued requests keeps its slot — evicting it would
+/// just force an immediate re-fault, and two queues contending for one
+/// slot would cancel each other's loads forever.
+fn evictable_families(engines: &[ReplicaEngine], ready_s: &[f64], now: f64) -> Vec<bool> {
+    engines
+        .iter()
+        .zip(ready_s)
+        .map(|(eng, &ready)| now >= ready && eng.queued_len() == 0)
+        .collect()
+}
+
+/// The replica's next state-changing instant strictly after `now` —
+/// when a deferred fault should retry: an in-flight batch completing, a
+/// queue's flush deadline, or a load finishing.
+fn next_replica_event(
+    engines: &[ReplicaEngine],
+    ready_s: &[f64],
+    batch: &crate::batcher::BatchPolicy,
+    now: f64,
+    drain: bool,
+) -> Option<f64> {
+    let mut t = f64::INFINITY;
+    let mut push = |x: f64| {
+        if x > now {
+            t = t.min(x);
+        }
+    };
+    for (m, eng) in engines.iter().enumerate() {
+        if let Some(c) = eng.next_completion_s() {
+            push(c);
+        }
+        if let Some(d) = eng.next_flush_deadline_s(batch, now, drain) {
+            push(d.max(ready_s[m]));
+        }
+        push(ready_s[m]);
+    }
+    t.is_finite().then_some(t)
+}
+
+/// Serves model-tagged `requests` (sorted by arrival time) against
+/// `families`, each replica hosting the families through a
+/// memory-budgeted [`WeightStore`].
+///
+/// Event order per instant matches the single-node engine — completion,
+/// then arrival, then flush — and all state advances on the shared
+/// simulated clock, so a seeded run is bit-identical every time.
+///
+/// # Panics
+/// Panics when `families` or `replicas` is empty, a request's model id is
+/// out of range, or some family's artifact alone exceeds the store
+/// budget.
+pub fn serve_fleet(
+    families: &[VariantRegistry],
+    data: &Dataset,
+    requests: &[ModelRequest],
+    cfg: &FleetConfig,
+    rec: &dyn Recorder,
+) -> FleetReport {
+    assert!(!families.is_empty(), "need at least one family");
+    assert!(cfg.replicas > 0, "need at least one replica");
+    let n_models = families.len();
+    let n_variants = families[0].variants.len();
+
+    let mut stores: Vec<WeightStore> = Vec::with_capacity(cfg.replicas);
+    let mut engines: Vec<Vec<ReplicaEngine>> = Vec::with_capacity(cfg.replicas);
+    // ready_s[r][m]: the instant family m's weights become usable on
+    // replica r; flushes gate on it, admissions are charged the remainder.
+    let mut ready_s = vec![vec![0.0f64; n_models]; cfg.replicas];
+    for r in 0..cfg.replicas {
+        let mut store = WeightStore::new(cfg.store_budget_bytes, cfg.eviction);
+        for (m, fam) in families.iter().enumerate() {
+            let id = store.insert(&format!("family{m}"), fam);
+            debug_assert_eq!(id, m);
+        }
+        if cfg.warm_start {
+            for m in 0..n_models {
+                if store.resident_bytes() + store.artifact_bytes(m) <= store.budget_bytes() {
+                    store.preload(m);
+                }
+            }
+        }
+        stores.push(store);
+        engines.push(
+            families
+                .iter()
+                .enumerate()
+                .map(|(m, fam)| {
+                    ReplicaEngine::new(fam, &cfg.serve, ((r * n_models + m) * n_variants) as u32)
+                })
+                .collect(),
+        );
+    }
+
+    let mut router = Router::new(cfg.router);
+    let mut cold_request_ids: Vec<u64> = Vec::new();
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // ---- next event time -------------------------------------------
+        let drain = next_arrival >= requests.len();
+        let mut t_next = f64::INFINITY;
+        for (r, row) in engines.iter().enumerate() {
+            for (m, eng) in row.iter().enumerate() {
+                if let Some(t) = eng.next_completion_s() {
+                    t_next = t_next.min(t);
+                }
+                if let Some(t) = eng.next_flush_deadline_s(&cfg.serve.batch, now, drain) {
+                    // A queue cannot flush before its weights finish
+                    // loading.
+                    t_next = t_next.min(t.max(ready_s[r][m]));
+                }
+            }
+        }
+        if !drain {
+            t_next = t_next.min(requests[next_arrival].req.arrival_s);
+        }
+        if t_next.is_infinite() {
+            break;
+        }
+        now = now.max(t_next);
+        rec.clock().set(now);
+
+        // ---- 1: completion ---------------------------------------------
+        let mut completed = false;
+        for row in engines.iter_mut() {
+            for eng in row.iter_mut() {
+                completed |= eng.try_complete(now, rec, &mut |_| true);
+            }
+        }
+        if completed {
+            continue;
+        }
+
+        // ---- 2: arrival ------------------------------------------------
+        if !drain && requests[next_arrival].req.arrival_s <= now {
+            let mr = requests[next_arrival];
+            next_arrival += 1;
+            assert!(mr.model < n_models, "request {} targets unknown model {}", mr.req.id, mr.model);
+            let loads: Vec<usize> = engines
+                .iter()
+                .map(|row| row.iter().map(ReplicaEngine::load).sum())
+                .collect();
+            let resident: Vec<bool> = stores.iter().map(|s| s.is_resident(mr.model)).collect();
+            let candidates: Vec<usize> = (0..cfg.replicas).collect();
+            let r = router
+                .route_residency(&candidates, &loads, &resident)
+                .expect("non-empty replica set");
+            let track = ((r * n_models + mr.model) * n_variants) as u32;
+            let evictable = evictable_families(&engines[r], &ready_s[r], now);
+            let residency = match stores[r].fetch_guarded(
+                mr.model,
+                &cfg.serve.device,
+                &evictable,
+                track,
+                rec,
+            ) {
+                Some(outcome) => {
+                    if !outcome.warm {
+                        ready_s[r][mr.model] = now + outcome.load_s;
+                    }
+                    // Cold, or warm-but-still-loading from an earlier
+                    // cold fetch.
+                    (ready_s[r][mr.model] - now).max(0.0)
+                }
+                None => {
+                    // Every resident is mid-load or owes queued work:
+                    // the fault waits for the replica's next event (the
+                    // flush phase retries it), and the admission
+                    // prediction is charged that wait plus the load.
+                    let retry = next_replica_event(&engines[r], &ready_s[r], &cfg.serve.batch, now, drain)
+                        .unwrap_or(now + stores[r].load_seconds(mr.model, &cfg.serve.device));
+                    ready_s[r][mr.model] = retry;
+                    retry - now + stores[r].load_seconds(mr.model, &cfg.serve.device)
+                }
+            };
+            if residency > 0.0 {
+                cold_request_ids.push(mr.req.id);
+            }
+            // Admission predicts from the family's cost tables; the
+            // input definition is bit-identical to any decoded resident
+            // copy (round-trip tested), and unlike the store's copy it
+            // exists even while the fault is still deferred.
+            let _ = engines[r][mr.model].admit_arrival_with_residency(
+                mr.req,
+                &families[mr.model],
+                &cfg.serve,
+                now,
+                residency,
+                rec,
+            );
+            continue;
+        }
+
+        // ---- 3: flush --------------------------------------------------
+        for r in 0..cfg.replicas {
+            // Ready residents flush first, so a family that just
+            // finished loading serves its queue before any re-fault can
+            // steal its slot back.
+            for m in 0..n_models {
+                if now >= ready_s[r][m] && stores[r].is_resident(m) {
+                    engines[r][m].try_flush(
+                        stores[r].registry_mut(m),
+                        data,
+                        &cfg.serve,
+                        now,
+                        drain,
+                        1.0,
+                        rec,
+                    );
+                }
+            }
+            // Families evicted out from under their own queue fault back
+            // in — but only past victims that are fully loaded and owe
+            // no queued work; otherwise two queues contending for one
+            // slot would endlessly cancel each other's loads. A blocked
+            // fault retries at the replica's next event.
+            for m in 0..n_models {
+                if now < ready_s[r][m]
+                    || stores[r].is_resident(m)
+                    || engines[r][m].queued_len() == 0
+                {
+                    continue;
+                }
+                let track = ((r * n_models + m) * n_variants) as u32;
+                let evictable = evictable_families(&engines[r], &ready_s[r], now);
+                match stores[r].fetch_guarded(m, &cfg.serve.device, &evictable, track, rec) {
+                    Some(outcome) => ready_s[r][m] = now + outcome.load_s,
+                    None => {
+                        ready_s[r][m] =
+                            next_replica_event(&engines[r], &ready_s[r], &cfg.serve.batch, now, drain)
+                                .unwrap_or(now + stores[r].load_seconds(m, &cfg.serve.device));
+                    }
+                }
+            }
+        }
+    }
+
+    // Group accounting per model across replicas, then aggregate.
+    let mut parts: Vec<Vec<ReplicaParts>> = (0..n_models).map(|_| Vec::new()).collect();
+    for row in engines {
+        for (m, eng) in row.into_iter().enumerate() {
+            parts[m].push(eng.into_parts());
+        }
+    }
+    let per_model: Vec<ServeReport> = parts
+        .iter()
+        .enumerate()
+        .map(|(m, p)| {
+            let offered = requests.iter().filter(|q| q.model == m).count();
+            assemble_report(offered, p.clone())
+        })
+        .collect();
+    let report = assemble_report(requests.len(), parts.into_iter().flatten().collect());
+    FleetReport {
+        report,
+        per_model,
+        cold_loads: stores.iter().map(|s| s.loads).sum(),
+        warm_hits: stores.iter().map(|s| s.hits).sum(),
+        evictions: stores.iter().map(|s| s.evictions).sum(),
+        bytes_loaded: stores.iter().map(|s| s.bytes_loaded).sum(),
+        cold_request_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::batcher::BatchPolicy;
+    use crate::device::DeviceModel;
+    use crate::engine::serve;
+    use crate::load::{open_loop, LoadConfig};
+    use crate::persist::save_family;
+    use crate::variant::{build_family, FamilyConfig};
+    use dl_obs::{NullRecorder, TimelineRecorder};
+
+    fn family(seed: u64) -> VariantRegistry {
+        let data = dl_data::blobs(100, 3, 8, 6.0, 0.5, seed);
+        let eval = dl_data::blobs(60, 3, 8, 6.0, 0.5, seed + 1);
+        build_family(
+            &data,
+            &eval,
+            &FamilyConfig {
+                teacher_dims: vec![8, 16, 3],
+                student_hidden: vec![4],
+                prune_sparsity: 0.6,
+                morph_budget: 100,
+                ensemble_members: 2,
+                max_batch: 8,
+                epochs: 6,
+                seed,
+            },
+        )
+    }
+
+    fn eval_set() -> Dataset {
+        dl_data::blobs(60, 3, 8, 6.0, 0.5, 901)
+    }
+
+    fn serve_cfg() -> ServeConfig {
+        ServeConfig {
+            batch: BatchPolicy::dynamic(8, 5e-6),
+            admission: AdmissionPolicy::AcceptAll,
+            primary: "fp32-base".into(),
+            device: DeviceModel::nominal(),
+        }
+    }
+
+    #[test]
+    fn preloaded_single_model_fleet_matches_single_node_bit_for_bit() {
+        let reg = family(900);
+        let eval = eval_set();
+        let load = open_loop(
+            &LoadConfig {
+                rate_rps: 150_000.0,
+                requests: 300,
+                seed: 11,
+            },
+            eval.x.dims()[0],
+        );
+        let cfg = serve_cfg();
+
+        let single_rec = TimelineRecorder::new();
+        let mut single_reg = reg.clone();
+        let single = serve(&mut single_reg, &eval, &load, &cfg, &single_rec);
+
+        let fleet_rec = TimelineRecorder::new();
+        let tagged: Vec<ModelRequest> =
+            load.iter().map(|&req| ModelRequest { req, model: 0 }).collect();
+        let fleet = serve_fleet(
+            &[reg],
+            &eval,
+            &tagged,
+            &FleetConfig {
+                serve: cfg,
+                replicas: 1,
+                store_budget_bytes: u64::MAX,
+                eviction: EvictionPolicy::Lru,
+                router: RouterPolicy::LeastLoaded,
+                warm_start: true,
+            },
+            &fleet_rec,
+        );
+
+        assert_eq!(fleet.cold_loads, 0, "preloaded family never faults");
+        assert!(fleet.cold_request_ids.is_empty());
+        assert_eq!(single, fleet.report, "store-fronted report drifts");
+        assert_eq!(single, fleet.per_model[0]);
+        assert_eq!(
+            single_rec.histogram("serve.latency_s"),
+            fleet_rec.histogram("serve.latency_s"),
+            "latency histogram drifts"
+        );
+        assert_eq!(single_rec.events(), fleet_rec.events(), "timeline drifts");
+    }
+
+    #[test]
+    fn thrashing_budget_pays_cold_loads_and_evictions() {
+        let a = family(910);
+        let b = family(920);
+        let eval = eval_set();
+        let budget_one = save_family(&a).len().max(save_family(&b).len()) as u64 * 3 / 2;
+        // Alternate models with gaps long enough that each batch drains
+        // before the next arrival: every switch faults the other family in.
+        let tagged: Vec<ModelRequest> = (0..40)
+            .map(|i| ModelRequest {
+                req: Request {
+                    id: i,
+                    arrival_s: i as f64 * 1e-3,
+                    sample: (i as usize * 7) % eval.x.dims()[0],
+                },
+                model: (i % 2) as usize,
+            })
+            .collect();
+        let run = |budget: u64, warm: bool| {
+            // batch=1 keeps the artifact load on the critical path (a
+            // flush-delay window would hide these tiny families' loads).
+            let mut serve = serve_cfg();
+            serve.batch = BatchPolicy::no_batching();
+            serve_fleet(
+                &[a.clone(), b.clone()],
+                &eval,
+                &tagged,
+                &FleetConfig {
+                    serve,
+                    replicas: 1,
+                    store_budget_bytes: budget,
+                    eviction: EvictionPolicy::Lru,
+                    router: RouterPolicy::LeastLoaded,
+                    warm_start: warm,
+                },
+                &NullRecorder::new(),
+            )
+        };
+        let thrash = run(budget_one, false);
+        assert_eq!(thrash.report.served, 40);
+        assert!(thrash.evictions > 10, "alternating models must thrash: {}", thrash.evictions);
+        assert_eq!(thrash.cold_loads, thrash.cold_request_ids.len());
+        assert!(thrash.bytes_loaded > 0);
+
+        let roomy = run(u64::MAX, true);
+        assert_eq!(roomy.cold_loads, 0);
+        assert_eq!(roomy.evictions, 0);
+        assert!(
+            thrash.report.p99_s > roomy.report.p99_s,
+            "cold loads must show up in the tail: {} vs {}",
+            thrash.report.p99_s,
+            roomy.report.p99_s
+        );
+        // Determinism: same schedule, same thrash.
+        let again = run(budget_one, false);
+        assert_eq!(thrash.report, again.report);
+        assert_eq!(thrash.cold_request_ids, again.cold_request_ids);
+    }
+
+    #[test]
+    fn residency_routing_keeps_models_sticky_across_replicas() {
+        let a = family(930);
+        let b = family(940);
+        let eval = eval_set();
+        let budget_one = save_family(&a).len().max(save_family(&b).len()) as u64 * 3 / 2;
+        // Two replicas, each able to hold one family: round-robin spreads
+        // the two initial all-cold faults across the replicas, after
+        // which residency-aware routing pins each model to its replica
+        // and nothing ever thrashes. (Least-loaded would tie both cold
+        // faults onto replica 0 and thrash forever.)
+        let tagged: Vec<ModelRequest> = (0..60)
+            .map(|i| ModelRequest {
+                req: Request {
+                    id: i,
+                    arrival_s: i as f64 * 1e-3,
+                    sample: (i as usize * 5) % eval.x.dims()[0],
+                },
+                model: (i % 2) as usize,
+            })
+            .collect();
+        let fleet = serve_fleet(
+            &[a, b],
+            &eval,
+            &tagged,
+            &FleetConfig {
+                serve: serve_cfg(),
+                replicas: 2,
+                store_budget_bytes: budget_one,
+                eviction: EvictionPolicy::Lru,
+                router: RouterPolicy::RoundRobin,
+                warm_start: false,
+            },
+            &NullRecorder::new(),
+        );
+        assert_eq!(fleet.report.served, 60);
+        assert_eq!(fleet.cold_loads, 2, "one fault per model, then sticky");
+        assert_eq!(fleet.evictions, 0, "two replicas x one slot never evict");
+        assert_eq!(fleet.cold_request_ids, vec![0, 1]);
+        assert_eq!(fleet.per_model[0].served + fleet.per_model[1].served, 60);
+    }
+}

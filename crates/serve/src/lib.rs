@@ -32,6 +32,15 @@
 //!    fleet from the observed arrival rate and the family's measured
 //!    cost tables. A fault-free one-replica cluster is bit-identical to
 //!    single-node [`serve`] (regression-tested).
+//! 6. **Persistence & multi-model tier** ([`save_family`] /
+//!    [`WeightStore`] / [`serve_fleet`]): whole variant families
+//!    round-trip bit-identically through `dl-store` artifacts (int8
+//!    codes stored packed, never dequantized), a memory-budgeted
+//!    [`WeightStore`] hosts many families with LRU or
+//!    `dl_memsched`-priced cost-aware eviction, and [`serve_fleet`]
+//!    serves model-tagged traffic with residency-aware routing and
+//!    cold-start-aware admission. A preloaded one-replica one-family
+//!    fleet is bit-identical to [`serve`] (regression-tested).
 //!
 //! The cost-model-driven variant choice follows SystemML's optimizer
 //! philosophy (pick the execution plan by a cost model, here measured
@@ -44,9 +53,12 @@ pub mod batcher;
 pub mod cluster;
 pub mod device;
 pub mod engine;
+pub mod fleet;
 pub mod load;
+pub mod persist;
 pub mod report;
 pub mod router;
+pub mod store;
 pub mod variant;
 
 pub use admission::{admit, AdmissionContext, AdmissionPolicy, Decision};
@@ -57,7 +69,10 @@ pub use cluster::{
 };
 pub use device::DeviceModel;
 pub use engine::{serve, ServeConfig};
+pub use fleet::{serve_fleet, FleetConfig, FleetReport, ModelRequest};
 pub use load::{bursty, open_loop, BurstConfig, LoadConfig, Request};
+pub use persist::{load_family, load_family_file, save_family, save_family_file};
 pub use report::{percentile, ServeReport, VariantServeStats};
 pub use router::{Router, RouterPolicy};
+pub use store::{EvictionPolicy, FetchOutcome, WeightStore};
 pub use variant::{build_family, FamilyConfig, Variant, VariantModel, VariantRegistry};

@@ -90,6 +90,31 @@ impl Router {
         };
         Some(pick)
     }
+
+    /// As [`Router::route`], but residency-aware: when some candidates
+    /// already hold the requested model's weights (`resident[c]`), the
+    /// choice is restricted to those — a warm replica at any load beats
+    /// paying a cold artifact load. When every candidate is cold the full
+    /// set competes as usual (someone has to fault the model in). The
+    /// underlying policy still decides *within* the preferred set, so
+    /// routing stays deterministic.
+    pub fn route_residency(
+        &mut self,
+        candidates: &[usize],
+        loads: &[usize],
+        resident: &[bool],
+    ) -> Option<usize> {
+        let warm: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| resident[c])
+            .collect();
+        if warm.is_empty() {
+            self.route(candidates, loads)
+        } else {
+            self.route(&warm, loads)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +138,27 @@ mod tests {
         assert_eq!(r.route(&[0, 1, 2], &[5, 2, 2]), Some(1));
         assert_eq!(r.route(&[0, 1, 2], &[1, 1, 1]), Some(0));
         assert_eq!(r.route(&[2], &[9, 9, 7]), Some(2));
+    }
+
+    #[test]
+    fn residency_routing_prefers_warm_replicas() {
+        let mut r = Router::new(RouterPolicy::LeastLoaded);
+        // A warm replica wins even when colder replicas are idle.
+        assert_eq!(
+            r.route_residency(&[0, 1, 2], &[0, 0, 9], &[false, false, true]),
+            Some(2)
+        );
+        // Two warm replicas: the policy decides within the warm set.
+        assert_eq!(
+            r.route_residency(&[0, 1, 2], &[4, 9, 7], &[true, false, true]),
+            Some(0)
+        );
+        // Everyone cold: plain routing over the full candidate set.
+        assert_eq!(
+            r.route_residency(&[0, 1, 2], &[5, 2, 2], &[false, false, false]),
+            Some(1)
+        );
+        assert_eq!(r.route_residency(&[], &[], &[]), None);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! it with a per-layer [`dl_prof::NetworkProfile`]. The admission
 //! controller later routes between these variants by measured cost.
 
-use dl_compress::{distill, magnitude_prune, quantize_network, DistillConfig, QuantScheme};
+use dl_compress::{
+    distill, magnitude_prune, quantize_network_tensors, DistillConfig, QuantizedTensor,
+};
 use dl_distributed::{morph_resize, MorphConfig};
 use dl_ensemble::{snapshot, Ensemble};
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
@@ -56,7 +58,7 @@ impl VariantModel {
 }
 
 /// One entry in the served family.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Variant {
     /// Registry-unique name (`fp32-base`, `int8`, `pruned`, ...).
     pub name: String,
@@ -73,6 +75,11 @@ pub struct Variant {
     /// Measured eval-mode forward cost of the whole model at batch
     /// `b`, stored at index `b - 1` for `b` in `1..=max_batch`.
     pub batch_costs: Vec<OpCost>,
+    /// The packed int8 tensors behind a quantized variant (parameter
+    /// order), retained from quantization so persistence can store the
+    /// codes natively instead of dequantized f32s. `None` for fp32
+    /// variants.
+    pub quantized: Option<Vec<QuantizedTensor>>,
 }
 
 impl Variant {
@@ -129,7 +136,7 @@ impl Default for FamilyConfig {
 }
 
 /// The served family plus the holdout it was calibrated on.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VariantRegistry {
     /// All variants, teacher first.
     pub variants: Vec<Variant>,
@@ -199,6 +206,7 @@ fn build_variant(
         weight_bytes,
         profile,
         batch_costs,
+        quantized: None,
     }
 }
 
@@ -222,9 +230,10 @@ pub fn build_family(data: &Dataset, eval: &Dataset, cfg: &FamilyConfig) -> Varia
     Trainer::new(train_cfg.clone(), Optimizer::adam(0.01)).fit(&mut teacher, data);
     let fp32_bytes = 4 * teacher.param_count() as u64;
 
-    // Int8: reconstructed weights serve, packed codes are what's stored.
-    let (int8_net, quant_report) =
-        quantize_network(&teacher, QuantScheme::Affine { bits: 8 });
+    // Int8: reconstructed weights serve, packed codes are what's stored —
+    // the codes are retained on the variant so persistence writes them
+    // natively.
+    let (int8_net, quant_report, int8_tensors) = quantize_network_tensors(&teacher, 8);
 
     // Pruned: iterative global magnitude pruning (prune, briefly
     // fine-tune, re-prune). The fine-tune recovers accuracy; ending on a
@@ -292,7 +301,7 @@ pub fn build_family(data: &Dataset, eval: &Dataset, cfg: &FamilyConfig) -> Varia
     let student_bytes = 4 * student.param_count() as u64;
     let morph_bytes = 4 * morph_net.param_count() as u64;
     let pruned_bytes = 4 * pruned.param_count() as u64;
-    let variants = vec![
+    let mut variants = vec![
         build_variant(
             "fp32-base",
             VariantModel::Single(teacher),
@@ -336,6 +345,7 @@ pub fn build_family(data: &Dataset, eval: &Dataset, cfg: &FamilyConfig) -> Varia
             cfg.max_batch,
         ),
     ];
+    variants[1].quantized = Some(int8_tensors);
     VariantRegistry { variants }
 }
 

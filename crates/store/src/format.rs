@@ -1,0 +1,734 @@
+//! The raw artifact format: builder, parser, checksums.
+//!
+//! Everything is little-endian and insertion-ordered; there is no
+//! hash-map anywhere in the encode path, so the same inputs always
+//! produce the same bytes. See the crate docs for the layout diagram.
+
+use crate::StoreError;
+use dl_compress::QuantizedTensor;
+use dl_tensor::Tensor;
+
+/// File magic: the first four bytes of every artifact.
+pub const MAGIC: [u8; 4] = *b"DLST";
+
+/// Format version this build writes and reads.
+pub const VERSION: u32 = 1;
+
+/// Tensor payload alignment in bytes. Payload offsets are multiples of
+/// this, so a memory-mapped artifact can hand kernels cache-line- and
+/// SIMD-aligned pointers without copying.
+pub const ALIGN: usize = 64;
+
+/// Minimum parseable artifact: header (16 bytes) + trailer checksum (8).
+const MIN_LEN: usize = 24;
+
+/// FNV-1a 64-bit checksum — the format's corruption detector. Chosen for
+/// being trivially re-implementable (one xor, one multiply per byte) so
+/// external tools can verify artifacts without this crate.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Payload element encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dtype {
+    /// Little-endian `f32`s, 4 bytes per element.
+    F32,
+    /// Packed int8 affine codes from `dl-compress`, 1 byte per element,
+    /// with scale / zero point / bit width carried in the directory.
+    Q8,
+}
+
+impl Dtype {
+    fn tag(self) -> u8 {
+        match self {
+            Dtype::F32 => 0,
+            Dtype::Q8 => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Dtype::F32),
+            1 => Some(Dtype::Q8),
+            _ => None,
+        }
+    }
+}
+
+/// A typed hparam value. Floating hyper-parameters that must round-trip
+/// exactly are stored as bit patterns in [`HParam::U64`] by convention
+/// (the codecs in [`crate::network`] do this for every `f32` knob).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HParam {
+    /// Unsigned integer (also used for `f32`/`f64` bit patterns).
+    U64(u64),
+    /// Double-precision float (only for values where rounding is benign).
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes (e.g. shard cursors packed little-endian).
+    Bytes(Vec<u8>),
+}
+
+/// One tensor directory entry, as parsed back from an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorEntry {
+    /// Namespaced tensor name (e.g. `net.layer0.weight`).
+    pub name: String,
+    /// Payload encoding.
+    pub dtype: Dtype,
+    /// Logical dimensions.
+    pub dims: Vec<usize>,
+    /// Absolute payload offset (a multiple of [`ALIGN`]).
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// FNV-1a checksum of the payload bytes.
+    pub checksum: u64,
+    /// `(scale, zero, bits)` for [`Dtype::Q8`] entries.
+    pub quant: Option<(f32, f32, u8)>,
+}
+
+struct PendingTensor {
+    name: String,
+    dtype: Dtype,
+    dims: Vec<usize>,
+    quant: Option<(f32, f32, u8)>,
+    payload: Vec<u8>,
+}
+
+/// Incrementally assembles an artifact; [`ArtifactBuilder::finish`]
+/// lays out the bytes. Hparams and tensors keep insertion order.
+#[derive(Default)]
+#[must_use = "a builder does nothing until finish() lays out the bytes"]
+pub struct ArtifactBuilder {
+    hparams: Vec<(String, HParam)>,
+    tensors: Vec<PendingTensor>,
+}
+
+impl ArtifactBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ArtifactBuilder::default()
+    }
+
+    /// Appends one hparam.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name — keys are namespaced by the codecs, so
+    /// a collision is a programming error, not a data error.
+    pub fn hparam(&mut self, name: impl Into<String>, value: HParam) {
+        let name = name.into();
+        assert!(
+            self.hparams.iter().all(|(n, _)| *n != name),
+            "duplicate hparam {name:?}"
+        );
+        self.hparams.push((name, value));
+    }
+
+    /// Appends an `f32` tensor.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the product of `dims`, or on
+    /// a duplicate tensor name.
+    pub fn tensor_f32(&mut self, name: impl Into<String>, dims: &[usize], data: &[f32]) {
+        let len: usize = dims.iter().product();
+        assert_eq!(data.len(), len, "payload length must match dims");
+        let mut payload = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push_tensor(name.into(), Dtype::F32, dims.to_vec(), None, payload);
+    }
+
+    /// Appends a packed-int8 tensor: the raw codes plus quant params,
+    /// exactly as held by a `dl_compress::QuantizedTensor`.
+    ///
+    /// # Panics
+    /// Panics if the code count does not match the product of `dims`, or
+    /// on a duplicate tensor name.
+    pub fn tensor_q8(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[usize],
+        codes: &[u8],
+        scale: f32,
+        zero: f32,
+        bits: u8,
+    ) {
+        let len: usize = dims.iter().product();
+        assert_eq!(codes.len(), len, "code count must match dims");
+        self.push_tensor(
+            name.into(),
+            Dtype::Q8,
+            dims.to_vec(),
+            Some((scale, zero, bits)),
+            codes.to_vec(),
+        );
+    }
+
+    fn push_tensor(
+        &mut self,
+        name: String,
+        dtype: Dtype,
+        dims: Vec<usize>,
+        quant: Option<(f32, f32, u8)>,
+        payload: Vec<u8>,
+    ) {
+        assert!(
+            self.tensors.iter().all(|t| t.name != name),
+            "duplicate tensor {name:?}"
+        );
+        self.tensors.push(PendingTensor {
+            name,
+            dtype,
+            dims,
+            quant,
+            payload,
+        });
+    }
+
+    /// Size of the directory entry for `t` once encoded.
+    fn entry_len(t: &PendingTensor) -> usize {
+        // name (4 + bytes) + dtype (1) + ndims (4) + dims (8 each)
+        // + quant (4+4+1 for Q8) + offset (8) + len (8) + checksum (8)
+        4 + t.name.len() + 1 + 4 + 8 * t.dims.len() + if t.quant.is_some() { 9 } else { 0 } + 24
+    }
+
+    /// Lays out the final byte image: header, hparams, directory,
+    /// aligned payloads, trailer checksum.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        let mut head = Vec::new();
+        head.extend_from_slice(&MAGIC);
+        put_u32(&mut head, VERSION);
+        put_u32(&mut head, self.hparams.len() as u32);
+        put_u32(&mut head, self.tensors.len() as u32);
+        for (name, value) in &self.hparams {
+            put_str(&mut head, name);
+            match value {
+                HParam::U64(v) => {
+                    head.push(0);
+                    put_u64(&mut head, *v);
+                }
+                HParam::F64(v) => {
+                    head.push(1);
+                    put_u64(&mut head, v.to_bits());
+                }
+                HParam::Str(s) => {
+                    head.push(2);
+                    put_str(&mut head, s);
+                }
+                HParam::Bytes(b) => {
+                    head.push(3);
+                    put_u32(&mut head, b.len() as u32);
+                    head.extend_from_slice(b);
+                }
+            }
+        }
+
+        // Directory size is known up front, so payload offsets are too.
+        let dir_len: usize = self.tensors.iter().map(Self::entry_len).sum();
+        let mut offset = align_up(head.len() + dir_len);
+        let mut offsets = Vec::with_capacity(self.tensors.len());
+        for t in &self.tensors {
+            offsets.push(offset);
+            offset = align_up(offset + t.payload.len());
+        }
+
+        for (t, &off) in self.tensors.iter().zip(&offsets) {
+            put_str(&mut head, &t.name);
+            head.push(t.dtype.tag());
+            put_u32(&mut head, t.dims.len() as u32);
+            for &d in &t.dims {
+                put_u64(&mut head, d as u64);
+            }
+            if let Some((scale, zero, bits)) = t.quant {
+                put_u32(&mut head, scale.to_bits());
+                put_u32(&mut head, zero.to_bits());
+                head.push(bits);
+            }
+            put_u64(&mut head, off as u64);
+            put_u64(&mut head, t.payload.len() as u64);
+            put_u64(&mut head, fnv1a(&t.payload));
+        }
+
+        let mut out = head;
+        for (t, &off) in self.tensors.iter().zip(&offsets) {
+            out.resize(off, 0);
+            out.extend_from_slice(&t.payload);
+        }
+        let trailer = fnv1a(&out);
+        put_u64(&mut out, trailer);
+        out
+    }
+}
+
+fn align_up(n: usize) -> usize {
+    n.div_ceil(ALIGN) * ALIGN
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A parsed artifact view over a byte buffer. Parsing verifies the magic,
+/// version and whole-file trailer checksum eagerly; per-tensor payload
+/// checksums are verified on access (so a mapped file only touches the
+/// pages it reads).
+#[derive(Debug)]
+#[must_use = "a parsed artifact is a read-only view; query it for tensors"]
+pub struct Artifact<'a> {
+    data: &'a [u8],
+    hparams: Vec<(String, HParam)>,
+    entries: Vec<TensorEntry>,
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated {
+            needed: usize::MAX,
+            have: self.buf.len(),
+        })?;
+        if end > self.buf.len() {
+            return Err(StoreError::Truncated {
+                needed: end,
+                have: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("non-UTF-8 name".into()))
+    }
+}
+
+impl<'a> Artifact<'a> {
+    /// Parses and validates `data` as an artifact.
+    ///
+    /// # Errors
+    /// [`StoreError::BadMagic`] / [`StoreError::UnsupportedVersion`] for
+    /// foreign files, [`StoreError::Truncated`] when sections overrun the
+    /// buffer, [`StoreError::ChecksumMismatch`] when the trailer disagrees
+    /// with the bytes, [`StoreError::Corrupt`] for structural damage.
+    pub fn parse(data: &'a [u8]) -> Result<Self, StoreError> {
+        if data.len() < 4 {
+            return Err(StoreError::Truncated {
+                needed: MIN_LEN,
+                have: data.len(),
+            });
+        }
+        let magic: [u8; 4] = data[..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        if data.len() < MIN_LEN {
+            return Err(StoreError::Truncated {
+                needed: MIN_LEN,
+                have: data.len(),
+            });
+        }
+        let body = &data[..data.len() - 8];
+        let stored = u64::from_le_bytes(data[data.len() - 8..].try_into().expect("8 bytes"));
+        let actual = fnv1a(body);
+        if stored != actual {
+            return Err(StoreError::ChecksumMismatch {
+                what: "file".into(),
+                expected: stored,
+                actual,
+            });
+        }
+
+        let mut c = Cursor { buf: body, pos: 4 };
+        let version = c.u32()?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let n_hparams = c.u32()? as usize;
+        let n_tensors = c.u32()? as usize;
+
+        let mut hparams = Vec::with_capacity(n_hparams);
+        for _ in 0..n_hparams {
+            let name = c.str()?;
+            let value = match c.u8()? {
+                0 => HParam::U64(c.u64()?),
+                1 => HParam::F64(f64::from_bits(c.u64()?)),
+                2 => HParam::Str(c.str()?),
+                3 => {
+                    let len = c.u32()? as usize;
+                    HParam::Bytes(c.take(len)?.to_vec())
+                }
+                tag => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unknown hparam tag {tag} for {name:?}"
+                    )))
+                }
+            };
+            hparams.push((name, value));
+        }
+
+        let mut entries = Vec::with_capacity(n_tensors);
+        for _ in 0..n_tensors {
+            let name = c.str()?;
+            let dtype = Dtype::from_tag(c.u8()?)
+                .ok_or_else(|| StoreError::Corrupt(format!("unknown dtype for {name:?}")))?;
+            let ndims = c.u32()? as usize;
+            let mut dims = Vec::with_capacity(ndims);
+            for _ in 0..ndims {
+                dims.push(c.u64()? as usize);
+            }
+            let quant = match dtype {
+                Dtype::F32 => None,
+                Dtype::Q8 => {
+                    let scale = f32::from_bits(c.u32()?);
+                    let zero = f32::from_bits(c.u32()?);
+                    let bits = c.u8()?;
+                    Some((scale, zero, bits))
+                }
+            };
+            let offset = c.u64()? as usize;
+            let len = c.u64()? as usize;
+            let checksum = c.u64()?;
+            if !offset.is_multiple_of(ALIGN) {
+                return Err(StoreError::Corrupt(format!(
+                    "tensor {name:?} payload offset {offset} is not {ALIGN}-byte aligned"
+                )));
+            }
+            let end = offset.checked_add(len).ok_or_else(|| {
+                StoreError::Corrupt(format!("tensor {name:?} payload range overflows"))
+            })?;
+            if end > body.len() {
+                return Err(StoreError::Truncated {
+                    needed: end + 8,
+                    have: data.len(),
+                });
+            }
+            let elems: usize = dims.iter().product();
+            let expect = match dtype {
+                Dtype::F32 => elems * 4,
+                Dtype::Q8 => elems,
+            };
+            if len != expect {
+                return Err(StoreError::Corrupt(format!(
+                    "tensor {name:?} payload is {len} bytes for dims {dims:?}"
+                )));
+            }
+            entries.push(TensorEntry {
+                name,
+                dtype,
+                dims,
+                offset,
+                len,
+                checksum,
+                quant,
+            });
+        }
+
+        Ok(Artifact {
+            data,
+            hparams,
+            entries,
+        })
+    }
+
+    /// All hparams in stored order.
+    #[must_use]
+    pub fn hparams(&self) -> &[(String, HParam)] {
+        &self.hparams
+    }
+
+    /// All tensor directory entries in stored order.
+    #[must_use]
+    pub fn entries(&self) -> &[TensorEntry] {
+        &self.entries
+    }
+
+    /// Looks up one hparam by name.
+    #[must_use]
+    pub fn hparam(&self, name: &str) -> Option<&HParam> {
+        self.hparams.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// A required `U64` hparam.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when missing or differently typed.
+    pub fn hparam_u64(&self, name: &str) -> Result<u64, StoreError> {
+        match self.hparam(name) {
+            Some(HParam::U64(v)) => Ok(*v),
+            _ => Err(StoreError::Corrupt(format!("missing u64 hparam {name:?}"))),
+        }
+    }
+
+    /// A required `f32` hparam stored as a `U64` bit pattern.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when missing, differently typed, or not a
+    /// valid `f32` bit pattern.
+    pub fn hparam_f32_bits(&self, name: &str) -> Result<f32, StoreError> {
+        let bits = self.hparam_u64(name)?;
+        u32::try_from(bits)
+            .map(f32::from_bits)
+            .map_err(|_| StoreError::Corrupt(format!("hparam {name:?} is not an f32 bit pattern")))
+    }
+
+    /// A required `F64` hparam (stored as a bit pattern, recovered
+    /// exactly).
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when missing or differently typed.
+    pub fn hparam_f64(&self, name: &str) -> Result<f64, StoreError> {
+        match self.hparam(name) {
+            Some(HParam::F64(v)) => Ok(*v),
+            _ => Err(StoreError::Corrupt(format!("missing f64 hparam {name:?}"))),
+        }
+    }
+
+    /// A required `Str` hparam.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when missing or differently typed.
+    pub fn hparam_str(&self, name: &str) -> Result<&str, StoreError> {
+        match self.hparam(name) {
+            Some(HParam::Str(s)) => Ok(s),
+            _ => Err(StoreError::Corrupt(format!("missing str hparam {name:?}"))),
+        }
+    }
+
+    /// Looks up a tensor entry by name.
+    #[must_use]
+    pub fn tensor(&self, name: &str) -> Option<&TensorEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The raw payload bytes of `entry`, checksum-verified.
+    ///
+    /// # Errors
+    /// [`StoreError::ChecksumMismatch`] when the payload bytes do not
+    /// match the directory checksum.
+    pub fn payload(&self, entry: &TensorEntry) -> Result<&'a [u8], StoreError> {
+        let bytes = &self.data[entry.offset..entry.offset + entry.len];
+        let actual = fnv1a(bytes);
+        if actual != entry.checksum {
+            return Err(StoreError::ChecksumMismatch {
+                what: entry.name.clone(),
+                expected: entry.checksum,
+                actual,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Decodes a named `f32` tensor.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when the tensor is missing or not `F32`;
+    /// checksum errors propagate from [`Artifact::payload`].
+    pub fn tensor_f32(&self, name: &str) -> Result<Tensor, StoreError> {
+        let entry = self
+            .tensor(name)
+            .ok_or_else(|| StoreError::Corrupt(format!("missing tensor {name:?}")))?;
+        if entry.dtype != Dtype::F32 {
+            return Err(StoreError::Corrupt(format!("tensor {name:?} is not f32")));
+        }
+        let bytes = self.payload(entry)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        Tensor::from_vec(data, entry.dims.as_slice())
+            .map_err(|e| StoreError::Corrupt(format!("tensor {name:?}: {e:?}")))
+    }
+
+    /// Decodes a named packed-int8 tensor back into a
+    /// `dl_compress::QuantizedTensor` — codes untouched, no dequantize
+    /// round-trip.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when the tensor is missing or not `Q8`;
+    /// checksum errors propagate from [`Artifact::payload`].
+    pub fn tensor_q8(&self, name: &str) -> Result<QuantizedTensor, StoreError> {
+        let entry = self
+            .tensor(name)
+            .ok_or_else(|| StoreError::Corrupt(format!("missing tensor {name:?}")))?;
+        let (scale, zero, bits) = match (entry.dtype, entry.quant) {
+            (Dtype::Q8, Some(q)) => q,
+            _ => return Err(StoreError::Corrupt(format!("tensor {name:?} is not q8"))),
+        };
+        let codes = self.payload(entry)?.to_vec();
+        Ok(QuantizedTensor::from_parts(
+            codes,
+            scale,
+            zero,
+            bits,
+            entry.dims.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = ArtifactBuilder::new();
+        b.hparam("model.kind", HParam::Str("test".into()));
+        b.hparam("model.layers", HParam::U64(2));
+        b.hparam("model.lr", HParam::F64(0.125));
+        b.hparam("model.cursors", HParam::Bytes(vec![1, 2, 3, 4]));
+        b.tensor_f32("w0", &[2, 3], &[1.0, -2.5, 3.25, 0.0, 4.5, -6.75]);
+        b.tensor_q8("w1", &[4], &[0, 127, 255, 63], 0.5, -1.0, 8);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let bytes = sample();
+        let a = Artifact::parse(&bytes).expect("valid artifact");
+        assert_eq!(a.hparam_str("model.kind").unwrap(), "test");
+        assert_eq!(a.hparam_u64("model.layers").unwrap(), 2);
+        assert_eq!(a.hparam("model.lr"), Some(&HParam::F64(0.125)));
+        assert_eq!(
+            a.hparam("model.cursors"),
+            Some(&HParam::Bytes(vec![1, 2, 3, 4]))
+        );
+        let w0 = a.tensor_f32("w0").unwrap();
+        assert_eq!(w0.dims(), &[2, 3]);
+        assert_eq!(w0.data(), &[1.0, -2.5, 3.25, 0.0, 4.5, -6.75]);
+        let w1 = a.tensor_q8("w1").unwrap();
+        assert_eq!(w1.codes(), &[0, 127, 255, 63]);
+        assert_eq!(w1.scale(), 0.5);
+        assert_eq!(w1.zero_point(), -1.0);
+        assert_eq!(w1.bits(), 8);
+        assert_eq!(w1.dims(), &[4]);
+    }
+
+    #[test]
+    fn encoding_is_byte_stable_and_aligned() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a, b, "same inputs, same bytes");
+        let parsed = Artifact::parse(&a).unwrap();
+        for e in parsed.entries() {
+            assert_eq!(e.offset % ALIGN, 0, "{} misaligned", e.name);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample();
+        bytes[0] = b'X';
+        match Artifact::parse(&bytes) {
+            Err(StoreError::BadMagic(m)) => assert_eq!(&m[1..], b"LST"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_any_cut() {
+        let bytes = sample();
+        // Every strict prefix must fail — with Truncated until the cut
+        // reaches the trailer, and never with a panic.
+        for cut in [0, 3, 4, 10, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+            let err = Artifact::parse(&bytes[..cut]).expect_err("prefix must not parse");
+            match err {
+                StoreError::Truncated { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::BadMagic(_) => {}
+                other => panic!("cut {cut}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_file_checksum() {
+        let mut bytes = sample();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        match Artifact::parse(&bytes) {
+            Err(StoreError::ChecksumMismatch { what, .. }) => assert_eq!(what, "file"),
+            other => panic!("expected file checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_corruption_behind_a_fixed_trailer_fails_the_tensor_checksum() {
+        let mut bytes = sample();
+        // Corrupt one payload byte, then re-seal the trailer so the file
+        // checksum passes — the per-tensor checksum must still catch it.
+        let a = Artifact::parse(&bytes).unwrap();
+        let off = a.tensor("w0").unwrap().offset;
+        drop(a);
+        bytes[off] ^= 0x01;
+        let n = bytes.len();
+        let fixed = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&fixed.to_le_bytes());
+        let a = Artifact::parse(&bytes).expect("trailer was re-sealed");
+        match a.tensor_f32("w0") {
+            Err(StoreError::ChecksumMismatch { what, .. }) => assert_eq!(what, "w0"),
+            other => panic!("expected tensor checksum failure, got {other:?}"),
+        }
+        // The untouched tensor still reads fine.
+        assert!(a.tensor_q8("w1").is_ok());
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = sample();
+        bytes[4] = 99;
+        let n = bytes.len();
+        let fixed = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&fixed.to_le_bytes());
+        match Artifact::parse(&bytes) {
+            Err(StoreError::UnsupportedVersion(99)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tensor")]
+    fn duplicate_tensor_names_panic() {
+        let mut b = ArtifactBuilder::new();
+        b.tensor_f32("w", &[1], &[0.0]);
+        b.tensor_f32("w", &[1], &[1.0]);
+    }
+}

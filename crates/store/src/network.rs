@@ -1,0 +1,450 @@
+//! Encoding and decoding `dl_nn::Network` through the artifact format.
+//!
+//! Every layer kind round-trips: parameters land in the tensor directory
+//! (f32, or packed int8 codes for quantized models), structure and scalar
+//! knobs land in the hparams section under a caller-chosen key prefix so
+//! several networks can share one artifact (how dl-serve persists whole
+//! variant families). `f32` knobs are stored as bit patterns, never
+//! re-parsed from text, so reconstruction is exact.
+//!
+//! Gradients are training scratch and are not persisted; a loaded network
+//! carries zeroed gradient buffers, identical to a freshly constructed
+//! one. Parameters, structure, dropout mask streams and batch-norm
+//! running statistics round-trip bit-for-bit.
+
+use crate::format::{Artifact, ArtifactBuilder, Dtype, HParam};
+use crate::StoreError;
+use dl_compress::QuantizedTensor;
+use dl_nn::layers::{BatchNorm1d, Conv2d, Dense, Dropout, Layer, MaxPool2d, ReLU, Sigmoid, Tanh};
+use dl_nn::Network;
+use dl_tensor::{init, Tensor};
+use std::path::Path;
+
+/// Value of the `artifact.kind` hparam written by [`save_network`].
+pub const NETWORK_KIND: &str = "network";
+
+fn key(prefix: &str, i: usize, field: &str) -> String {
+    format!("{prefix}.layer{i}.{field}")
+}
+
+fn put_f32_bits(b: &mut ArtifactBuilder, name: String, v: f32) {
+    b.hparam(name, HParam::U64(u64::from(v.to_bits())));
+}
+
+/// Writes `net` into `b` under `prefix`, all parameters as f32.
+pub fn encode_network(b: &mut ArtifactBuilder, prefix: &str, net: &Network) {
+    encode_impl(b, prefix, net, None);
+}
+
+/// Writes `net` into `b` under `prefix`, storing its parameter tensors as
+/// the packed int8 codes in `quantized` (one per parameter tensor, in
+/// `params_and_grads` order — exactly what
+/// `dl_compress::quantize_network_tensors` returns). Non-parameter
+/// tensors (batch-norm running statistics) stay f32.
+///
+/// # Panics
+/// Panics when `quantized` does not line up one-to-one with the
+/// network's parameter tensors (count or dims).
+pub fn encode_network_q8(
+    b: &mut ArtifactBuilder,
+    prefix: &str,
+    net: &Network,
+    quantized: &[QuantizedTensor],
+) {
+    encode_impl(b, prefix, net, Some(quantized));
+}
+
+fn encode_impl(
+    b: &mut ArtifactBuilder,
+    prefix: &str,
+    net: &Network,
+    quantized: Option<&[QuantizedTensor]>,
+) {
+    b.hparam(format!("{prefix}.input_dim"), HParam::U64(net.input_dim as u64));
+    b.hparam(
+        format!("{prefix}.layer_count"),
+        HParam::U64(net.layers().len() as u64),
+    );
+    let mut qi = 0usize;
+    // Writes one parameter tensor: the next quantized entry when
+    // persisting a q8 model, the raw f32 data otherwise.
+    let param = |b: &mut ArtifactBuilder, name: String, t: &Tensor, qi: &mut usize| match quantized {
+        Some(qts) => {
+            let q = qts
+                .get(*qi)
+                .unwrap_or_else(|| panic!("quantized tensor list too short at {name}"));
+            assert_eq!(q.dims(), t.dims(), "quantized dims mismatch at {name}");
+            b.tensor_q8(name, q.dims(), q.codes(), q.scale(), q.zero_point(), q.bits());
+            *qi += 1;
+        }
+        None => b.tensor_f32(name, t.dims(), t.data()),
+    };
+    for (i, layer) in net.layers().iter().enumerate() {
+        b.hparam(key(prefix, i, "kind"), HParam::Str(layer.name().to_string()));
+        match layer {
+            Layer::Dense(d) => {
+                param(b, key(prefix, i, "weight"), &d.weight, &mut qi);
+                param(b, key(prefix, i, "bias"), &d.bias, &mut qi);
+            }
+            Layer::ReLU(_) | Layer::Sigmoid(_) | Layer::Tanh(_) => {}
+            Layer::Dropout(d) => {
+                put_f32_bits(b, key(prefix, i, "p_bits"), d.p);
+                b.hparam(key(prefix, i, "seed"), HParam::U64(d.seed()));
+                b.hparam(key(prefix, i, "step"), HParam::U64(d.step()));
+            }
+            Layer::Conv2d(c) => {
+                for (field, v) in [
+                    ("in_channels", c.in_channels),
+                    ("out_channels", c.out_channels),
+                    ("height", c.height),
+                    ("width", c.width),
+                    ("kh", c.kh),
+                    ("kw", c.kw),
+                    ("stride", c.stride),
+                    ("pad", c.pad),
+                ] {
+                    b.hparam(key(prefix, i, field), HParam::U64(v as u64));
+                }
+                param(b, key(prefix, i, "weight"), &c.weight, &mut qi);
+                param(b, key(prefix, i, "bias"), &c.bias, &mut qi);
+            }
+            Layer::MaxPool2d(m) => {
+                for (field, v) in [
+                    ("channels", m.channels),
+                    ("height", m.height),
+                    ("width", m.width),
+                    ("k", m.k),
+                    ("stride", m.stride),
+                ] {
+                    b.hparam(key(prefix, i, field), HParam::U64(v as u64));
+                }
+            }
+            Layer::BatchNorm1d(bn) => {
+                put_f32_bits(b, key(prefix, i, "momentum_bits"), bn.momentum);
+                put_f32_bits(b, key(prefix, i, "eps_bits"), bn.eps());
+                param(b, key(prefix, i, "gamma"), &bn.gamma, &mut qi);
+                param(b, key(prefix, i, "beta"), &bn.beta, &mut qi);
+                b.tensor_f32(
+                    key(prefix, i, "running_mean"),
+                    bn.running_mean.dims(),
+                    bn.running_mean.data(),
+                );
+                b.tensor_f32(
+                    key(prefix, i, "running_var"),
+                    bn.running_var.dims(),
+                    bn.running_var.data(),
+                );
+            }
+        }
+    }
+    if let Some(qts) = quantized {
+        assert_eq!(qi, qts.len(), "quantized tensor list longer than the network's params");
+    }
+}
+
+/// Reads one parameter tensor, collecting the packed codes when the
+/// entry is stored q8 (int8 payloads dequantize through the exact same
+/// `zero + scale * code` expression `dl-compress` used in memory, so the
+/// reconstruction is bit-identical).
+fn param_tensor(
+    a: &Artifact<'_>,
+    name: &str,
+    quants: &mut Vec<QuantizedTensor>,
+    any_q8: &mut bool,
+) -> Result<Tensor, StoreError> {
+    let entry = a
+        .tensor(name)
+        .ok_or_else(|| StoreError::Corrupt(format!("missing tensor {name:?}")))?;
+    match entry.dtype {
+        Dtype::F32 => a.tensor_f32(name),
+        Dtype::Q8 => {
+            let q = a.tensor_q8(name)?;
+            let t = q.dequantize();
+            quants.push(q);
+            *any_q8 = true;
+            Ok(t)
+        }
+    }
+}
+
+/// Reconstructs a network stored under `prefix`.
+///
+/// # Errors
+/// [`StoreError::Corrupt`] for missing or inconsistent sections; checksum
+/// errors propagate from payload reads.
+pub fn decode_network(a: &Artifact<'_>, prefix: &str) -> Result<Network, StoreError> {
+    decode_network_with_quant(a, prefix).map(|(net, _)| net)
+}
+
+/// Reconstructs a network stored under `prefix`, additionally returning
+/// its packed int8 tensors (in parameter order) when any parameter was
+/// stored q8 — so a loaded quantized model can be re-saved byte-for-byte
+/// without a dequantize round-trip.
+///
+/// # Errors
+/// [`StoreError::Corrupt`] for missing or inconsistent sections; checksum
+/// errors propagate from payload reads.
+pub fn decode_network_with_quant(
+    a: &Artifact<'_>,
+    prefix: &str,
+) -> Result<(Network, Option<Vec<QuantizedTensor>>), StoreError> {
+    let input_dim = a.hparam_u64(&format!("{prefix}.input_dim"))? as usize;
+    let layer_count = a.hparam_u64(&format!("{prefix}.layer_count"))? as usize;
+    let mut net = Network::new(input_dim);
+    let mut quants = Vec::new();
+    let mut any_q8 = false;
+    for i in 0..layer_count {
+        let kind = a.hparam_str(&key(prefix, i, "kind"))?.to_string();
+        let u = |field: &str| a.hparam_u64(&key(prefix, i, field)).map(|v| v as usize);
+        let layer = match kind.as_str() {
+            "dense" => {
+                let w = param_tensor(a, &key(prefix, i, "weight"), &mut quants, &mut any_q8)?;
+                let bias = param_tensor(a, &key(prefix, i, "bias"), &mut quants, &mut any_q8)?;
+                Layer::Dense(Dense::from_parts(w, bias))
+            }
+            "relu" => Layer::ReLU(ReLU::new()),
+            "sigmoid" => Layer::Sigmoid(Sigmoid::new()),
+            "tanh" => Layer::Tanh(Tanh::new()),
+            "dropout" => {
+                let p = a.hparam_f32_bits(&key(prefix, i, "p_bits"))?;
+                let seed = a.hparam_u64(&key(prefix, i, "seed"))?;
+                let step = a.hparam_u64(&key(prefix, i, "step"))?;
+                Layer::Dropout(Dropout::from_state(p, seed, step))
+            }
+            "conv2d" => {
+                // Constructed through `new` (which needs an rng for its
+                // He init), then the freshly drawn weights are replaced
+                // by the stored ones — the rng never leaks into the
+                // reconstruction.
+                let mut c = Conv2d::new(
+                    u("in_channels")?,
+                    u("out_channels")?,
+                    u("height")?,
+                    u("width")?,
+                    u("kh")?,
+                    u("kw")?,
+                    u("stride")?,
+                    u("pad")?,
+                    &mut init::rng(0),
+                );
+                c.weight = param_tensor(a, &key(prefix, i, "weight"), &mut quants, &mut any_q8)?;
+                c.bias = param_tensor(a, &key(prefix, i, "bias"), &mut quants, &mut any_q8)?;
+                c.grad_weight = Tensor::zeros(c.weight.shape().clone());
+                c.grad_bias = Tensor::zeros(c.bias.shape().clone());
+                Layer::Conv2d(c)
+            }
+            "maxpool2d" => Layer::MaxPool2d(MaxPool2d::new(
+                u("channels")?,
+                u("height")?,
+                u("width")?,
+                u("k")?,
+                u("stride")?,
+            )),
+            "batchnorm1d" => {
+                let momentum = a.hparam_f32_bits(&key(prefix, i, "momentum_bits"))?;
+                let eps = a.hparam_f32_bits(&key(prefix, i, "eps_bits"))?;
+                let gamma = param_tensor(a, &key(prefix, i, "gamma"), &mut quants, &mut any_q8)?;
+                let beta = param_tensor(a, &key(prefix, i, "beta"), &mut quants, &mut any_q8)?;
+                let features = gamma.dims()[0];
+                let mut bn = BatchNorm1d::with_eps(features, eps);
+                bn.momentum = momentum;
+                bn.gamma = gamma;
+                bn.beta = beta;
+                bn.running_mean = a.tensor_f32(&key(prefix, i, "running_mean"))?;
+                bn.running_var = a.tensor_f32(&key(prefix, i, "running_var"))?;
+                Layer::BatchNorm1d(bn)
+            }
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown layer kind {other:?} at {prefix}.layer{i}"
+                )))
+            }
+        };
+        net = net.push(layer);
+    }
+    Ok((net, any_q8.then_some(quants)))
+}
+
+/// Serializes one network as a standalone artifact.
+#[must_use]
+pub fn save_network(net: &Network) -> Vec<u8> {
+    let mut b = ArtifactBuilder::new();
+    b.hparam("artifact.kind", HParam::Str(NETWORK_KIND.to_string()));
+    encode_network(&mut b, "net", net);
+    b.finish()
+}
+
+/// Loads a network saved by [`save_network`].
+///
+/// # Errors
+/// Format errors from [`Artifact::parse`]; [`StoreError::Corrupt`] when
+/// the artifact is not a network artifact.
+pub fn load_network(bytes: &[u8]) -> Result<Network, StoreError> {
+    let a = Artifact::parse(bytes)?;
+    let kind = a.hparam_str("artifact.kind")?;
+    if kind != NETWORK_KIND {
+        return Err(StoreError::Corrupt(format!(
+            "artifact kind {kind:?} is not a network"
+        )));
+    }
+    decode_network(&a, "net")
+}
+
+/// Writes [`save_network`] bytes to `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_network_file(net: &Network, path: &Path) -> Result<(), StoreError> {
+    std::fs::write(path, save_network(net)).map_err(StoreError::Io)
+}
+
+/// Reads and parses a [`save_network_file`] artifact.
+///
+/// # Errors
+/// Filesystem errors plus everything [`load_network`] can return.
+pub fn load_network_file(path: &Path) -> Result<Network, StoreError> {
+    let bytes = std::fs::read(path)?;
+    load_network(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_kinds_network() -> Network {
+        let mut rng = init::rng(11);
+        // 1x6x6 image input -> conv -> pool -> dense stack exercising
+        // every persistable layer kind.
+        let conv = Conv2d::new(1, 2, 6, 6, 3, 3, 1, 1, &mut rng);
+        let pool = MaxPool2d::new(2, 6, 6, 2, 2);
+        let pooled = 2 * 3 * 3;
+        let mut bn = BatchNorm1d::with_eps(pooled, 3e-5);
+        bn.momentum = 0.25;
+        Network::new(36)
+            .push(Layer::Conv2d(conv))
+            .push(Layer::ReLU(ReLU::new()))
+            .push(Layer::MaxPool2d(pool))
+            .push(Layer::BatchNorm1d(bn))
+            .push(Layer::Dense(Dense::new(pooled, 8, &mut rng)))
+            .push(Layer::Tanh(Tanh::new()))
+            .push(Layer::Dropout(Dropout::from_state(0.25, 99, 3)))
+            .push(Layer::Dense(Dense::new(8, 4, &mut rng)))
+            .push(Layer::Sigmoid(Sigmoid::new()))
+    }
+
+    #[test]
+    fn mlp_roundtrip_is_bit_identical_and_byte_stable() {
+        let mut rng = init::rng(7);
+        let mut net = Network::mlp(&[5, 8, 3], &mut rng);
+        let bytes = save_network(&net);
+        assert_eq!(bytes, save_network(&net), "same model, same bytes");
+        let mut back = load_network(&bytes).expect("valid artifact");
+        let a = net.flat_params();
+        let b = back.flat_params();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let x = Tensor::from_vec(vec![0.3, -1.0, 0.5, 2.0, -0.25], [1, 5]).unwrap();
+        let ya = net.forward(&x, false);
+        let yb = back.forward(&x, false);
+        for (p, q) in ya.data().iter().zip(yb.data()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Re-saving the loaded model reproduces the artifact exactly.
+        assert_eq!(save_network(&back), bytes);
+    }
+
+    #[test]
+    fn every_layer_kind_roundtrips() {
+        let mut net = all_kinds_network();
+        let bytes = save_network(&net);
+        let mut back = load_network(&bytes).expect("valid artifact");
+        assert_eq!(net.layers().len(), back.layers().len());
+        for (l, m) in net.layers().iter().zip(back.layers()) {
+            assert_eq!(l.name(), m.name());
+        }
+        // Forward in train mode exercises dropout's (seed, step) stream
+        // and batch-norm's running-stat updates on both copies equally.
+        let x = Tensor::from_vec((0..72).map(|i| i as f32 * 0.1 - 3.0).collect(), [2, 36]).unwrap();
+        for train in [false, true, true] {
+            let ya = net.forward(&x, train);
+            let yb = back.forward(&x, train);
+            for (p, q) in ya.data().iter().zip(yb.data()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "train={train}");
+            }
+        }
+        // Dropout advanced in lockstep, so a re-save of both still agrees.
+        assert_eq!(save_network(&net), save_network(&back));
+    }
+
+    #[test]
+    fn q8_networks_store_codes_natively_and_roundtrip_bitwise() {
+        let mut rng = init::rng(21);
+        let teacher = Network::mlp(&[6, 10, 4], &mut rng);
+        let (mut deq, _report, qts) = dl_compress::quantize_network_tensors(&teacher, 8);
+        let mut b = ArtifactBuilder::new();
+        b.hparam("artifact.kind", HParam::Str(NETWORK_KIND.to_string()));
+        encode_network_q8(&mut b, "net", &deq, &qts);
+        let bytes = b.finish();
+
+        let a = Artifact::parse(&bytes).unwrap();
+        // The payloads really are the packed codes, not dequantized f32s.
+        let entry = a.tensor("net.layer0.weight").expect("directory entry");
+        assert_eq!(entry.dtype, Dtype::Q8);
+        assert_eq!(a.payload(entry).unwrap(), qts[0].codes());
+
+        let (mut back, quants) = decode_network_with_quant(&a, "net").unwrap();
+        let quants = quants.expect("q8 params detected");
+        assert_eq!(quants.len(), qts.len());
+        // load -> dequantize equals dequantize-before-save, bitwise.
+        for (x, y) in deq.flat_params().iter().zip(back.flat_params()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let x = Tensor::from_vec(vec![1.0, -0.5, 0.25, 2.0, 0.0, -1.5], [1, 6]).unwrap();
+        let ya = deq.forward(&x, false);
+        let yb = back.forward(&x, false);
+        for (p, q) in ya.data().iter().zip(yb.data()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Re-encoding from the recovered codes is byte-identical.
+        let mut b2 = ArtifactBuilder::new();
+        b2.hparam("artifact.kind", HParam::Str(NETWORK_KIND.to_string()));
+        encode_network_q8(&mut b2, "net", &back, &quants);
+        assert_eq!(b2.finish(), bytes);
+    }
+
+    #[test]
+    fn foreign_artifact_kind_is_rejected() {
+        let mut b = ArtifactBuilder::new();
+        b.hparam("artifact.kind", HParam::Str("something-else".into()));
+        let bytes = b.finish();
+        assert!(matches!(
+            load_network(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn save_load_dequantize_equals_dequantize_before_save(
+            seed in 0u64..200, hidden in 2usize..12,
+        ) {
+            // The satellite contract, as a property over random models:
+            // persisting the packed int8 codes and dequantizing after
+            // load gives exactly the f32s the in-memory model served.
+            let mut rng = init::rng(seed);
+            let net = Network::mlp(&[4, hidden, 3], &mut rng);
+            let (deq, _report, qts) = dl_compress::quantize_network_tensors(&net, 8);
+            let mut b = ArtifactBuilder::new();
+            encode_network_q8(&mut b, "net", &deq, &qts);
+            let bytes = b.finish();
+            let a = Artifact::parse(&bytes).unwrap();
+            let (back, _) = decode_network_with_quant(&a, "net").unwrap();
+            for (x, y) in deq.flat_params().iter().zip(back.flat_params()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Golden-file regression test for the artifact byte layout.
+//!
+//! `tests/golden/tiny_mlp.dlst` is a committed artifact for a tiny
+//! deterministic MLP. If encoding ever drifts — field order, alignment,
+//! checksum, endianness — this test fails before any consumer does.
+//! To regenerate after an *intentional* format-version bump:
+//!
+//! ```text
+//! DL_STORE_REGEN_GOLDEN=1 cargo test -p dl-store --test golden
+//! ```
+
+use dl_nn::Network;
+use dl_store::{fnv1a, load_network, save_network, Artifact, ALIGN};
+use dl_tensor::init;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/tiny_mlp.dlst")
+}
+
+fn tiny_mlp() -> Network {
+    let mut rng = init::rng(42);
+    Network::mlp(&[4, 6, 3], &mut rng)
+}
+
+#[test]
+fn golden_artifact_bytes_are_stable() {
+    let bytes = save_network(&tiny_mlp());
+    let path = golden_path();
+    if std::env::var_os("DL_STORE_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let golden = std::fs::read(&path)
+        .expect("committed golden artifact (regen with DL_STORE_REGEN_GOLDEN=1)");
+    assert_eq!(
+        bytes, golden,
+        "artifact encoding drifted from the committed golden file"
+    );
+}
+
+#[test]
+fn golden_artifact_still_loads_and_matches_the_model() {
+    let golden = std::fs::read(golden_path()).expect("committed golden artifact");
+    let net = load_network(&golden).expect("golden artifact parses");
+    let fresh = tiny_mlp();
+    let a = fresh.flat_params();
+    let b = net.flat_params();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn golden_artifact_is_aligned_and_checksummed() {
+    let golden = std::fs::read(golden_path()).expect("committed golden artifact");
+    let a = Artifact::parse(&golden).expect("parses");
+    for e in a.entries() {
+        assert_eq!(e.offset % ALIGN, 0, "payload {} unaligned", e.name);
+        assert_eq!(fnv1a(a.payload(e).unwrap()), e.checksum);
+    }
+    let n = golden.len();
+    let stored = u64::from_le_bytes(golden[n - 8..].try_into().unwrap());
+    assert_eq!(stored, fnv1a(&golden[..n - 8]));
+}
