@@ -141,7 +141,7 @@ fn parse(args: &[String]) -> Result<Args, String> {
         let canonical = id.to_ascii_lowercase();
         if !known.contains(&canonical) {
             return Err(format!(
-                "unknown experiment {id:?}; expected e1..e30, a1..a4, or 'all'"
+                "unknown experiment {id:?}; expected e1..e31, a1..a4, or 'all'"
             ));
         }
     }
@@ -398,7 +398,7 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: exp <e1..e30|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
+            "usage: exp <e1..e31|a1..a4|all> [more ids...] [--trace <path>] [--profile]\n\
              \x20           [--profile-json <path>] [--monitor] [--monitor-json <path>]\n\
              \x20           [--requests] [--requests-json <path>] [--baseline <dir>]\n\
              \x20      exp check --against <dir> [id...]\n\

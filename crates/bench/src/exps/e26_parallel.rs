@@ -59,8 +59,15 @@ fn best_us(mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Runs the experiment.
+/// Runs the experiment. The claim here is about the *scalar* backend
+/// (bit-identity with the sequential `Tensor` kernels), so the kernel
+/// knob is pinned to [`par::Kernel::Scalar`] regardless of `DL_KERNEL`;
+/// E31 owns the unrolled/int8 kernel claims.
 pub fn run() -> ExperimentResult {
+    par::with_kernel(par::Kernel::Scalar, run_inner)
+}
+
+fn run_inner() -> ExperimentResult {
     let shapes: [(&str, usize, usize, usize); 2] = [
         ("small 32x64·64x32", 32, 64, 32),
         ("large 256x256·256x256", 256, 256, 256),

@@ -34,6 +34,7 @@ pub mod e27_cluster;
 pub mod e28_monitoring;
 pub mod e29_request_tracing;
 pub mod e30_weight_store;
+pub mod e31_kernels;
 
 use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_tensor::init;

@@ -1,7 +1,7 @@
 //! # dl-bench
 //!
 //! The experiment harness: one module per experiment in `DESIGN.md`'s
-//! index (E1-E30), each regenerating one quantitative claim of the
+//! index (E1-E31), each regenerating one quantitative claim of the
 //! tutorial. The `exp` binary dispatches on experiment id and prints the
 //! result rows; every run also writes a JSON record under
 //! `target/experiments/` which `EXPERIMENTS.md` references and E21's
@@ -25,7 +25,7 @@ pub use table::{ExperimentResult, Table};
 
 use dl_obs::{fields, NullRecorder, Recorder};
 
-/// Runs one experiment by id (`"e1"`..`"e30"`). Returns its result.
+/// Runs one experiment by id (`"e1"`..`"e31"`). Returns its result.
 ///
 /// # Errors
 /// Returns an error string for unknown ids.
@@ -87,19 +87,20 @@ fn dispatch(id: &str, rec: &dyn Recorder) -> Result<ExperimentResult, String> {
         "e28" => Ok(exps::e28_monitoring::run_with(rec)),
         "e29" => Ok(exps::e29_request_tracing::run_with(rec)),
         "e30" => Ok(exps::e30_weight_store::run()),
+        "e31" => Ok(exps::e31_kernels::run()),
         "a1" => Ok(exps::a01_error_feedback::run()),
         "a2" => Ok(exps::a02_rmi_leaves::run()),
         "a3" => Ok(exps::a03_p3_slices::run()),
         "a4" => Ok(exps::a04_snapshot_cycles::run()),
         other => Err(format!(
-            "unknown experiment {other:?}; expected e1..e30, a1..a4, or 'all'"
+            "unknown experiment {other:?}; expected e1..e31, a1..a4, or 'all'"
         )),
     }
 }
 
-/// All experiment ids in order: claims E1-E30, then ablations A1-A4.
+/// All experiment ids in order: claims E1-E31, then ablations A1-A4.
 pub fn all_ids() -> Vec<String> {
-    let mut ids: Vec<String> = (1..=30).map(|i| format!("e{i}")).collect();
+    let mut ids: Vec<String> = (1..=31).map(|i| format!("e{i}")).collect();
     ids.extend((1..=4).map(|i| format!("a{i}")));
     ids
 }
@@ -137,6 +138,7 @@ pub fn describe(id: &str) -> &'static str {
         "e28" => "online monitoring: SLO burn-rate alerts, health, drift detection",
         "e29" => "request tracing: waterfalls, tail attribution, conservation",
         "e30" => "weight store: model artifacts, memory budget, cold-start tail",
+        "e31" => "reduced-precision kernels: unrolled f32 FMA + native int8 GEMM",
         "a1" => "ablation: error feedback in gradient compression",
         "a2" => "ablation: RMI leaf budget",
         "a3" => "ablation: P3 slice granularity",

@@ -13,6 +13,9 @@
 //!   physically shrinks consecutive dense layers.
 //! * [`distill`] — **knowledge distillation**: temperature-softened teacher
 //!   probabilities transferred into a smaller student.
+//! * [`qnn`] — **native int8 inference**: serve a quantized MLP directly on
+//!   its packed codes (integer GEMM + one affine rescale per output) instead
+//!   of dequantizing back to f32 first.
 //!
 //! Every entry point reports the compressed footprint in bytes next to the
 //! (possibly degraded) model, so experiments can plot the tutorial's
@@ -22,9 +25,11 @@
 
 pub mod distill;
 pub mod prune;
+pub mod qnn;
 pub mod quant;
 
 pub use distill::{distill, DistillConfig, DistillReport};
+pub use qnn::{QuantizedDense, QuantizedMlp};
 pub use prune::{filter_prune, magnitude_prune, neuron_prune, saliency_prune, sparsity, PruneReport};
 pub use quant::{
     binarize_network, quantize_network, quantize_network_tensors, CodebookQuantizer, HuffmanCode,

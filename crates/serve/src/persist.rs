@@ -1,11 +1,13 @@
 //! Saving and loading whole variant families as `dl-store` artifacts.
 //!
 //! One artifact carries the entire served family: every variant's model
-//! (single network or ensemble members), its measured accuracy, weight
-//! footprint, per-layer profile and batch cost tables. The int8 variant's
-//! parameters are written as their packed codes plus quant params — never
-//! dequantized on the way to disk — so `load → dequantize` reproduces the
-//! exact f32s the in-memory registry serves.
+//! (single network, ensemble members, or native-int8 quantized MLP), its
+//! measured accuracy, weight footprint, per-layer profile and batch cost
+//! tables. The int8 variant's parameters are written as their packed
+//! codes plus quant params — never dequantized on the way to disk — and
+//! load rebuilds the *native* [`dl_compress::QuantizedMlp`] from those
+//! codes, so a loaded int8 variant serves on packed codes exactly like
+//! the one that was saved.
 //!
 //! The round-trip contract is the serving-side analogue of dl-store's:
 //! a loaded registry is bit-identical to the one saved (predictions,
@@ -190,6 +192,17 @@ pub fn save_family(reg: &VariantRegistry) -> Vec<u8> {
                     encode_network(&mut b, &format!("v{i}.m{j}"), m);
                 }
             }
+            VariantModel::Quantized(q) => {
+                // The architecture is written as the dequantized shadow,
+                // but every parameter payload is the packed codes — the
+                // codec re-derives nothing from the f32s.
+                b.hparam(format!("v{i}.model"), HParam::Str("quantized".to_string()));
+                let qts = v
+                    .quantized
+                    .as_ref()
+                    .expect("a quantized variant always retains its packed tensors");
+                encode_network_q8(&mut b, &format!("v{i}.net"), &q.to_network(), qts);
+            }
         }
         encode_profile(&mut b, &format!("v{i}.profile"), &v.profile);
         let mut pk = U64Packer(Vec::new());
@@ -233,6 +246,16 @@ pub fn load_family(bytes: &[u8]) -> Result<VariantRegistry, StoreError> {
                     nets.push(net);
                 }
                 (VariantModel::Ensemble(Ensemble::new(nets)), None)
+            }
+            "quantized" => {
+                let (net, q) = decode_network_with_quant(&a, &format!("v{i}.net"))?;
+                let qts = q.ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "quantized variant v{i} carries no packed tensors"
+                    ))
+                })?;
+                let mlp = dl_compress::QuantizedMlp::from_network_tensors(&net, &qts);
+                (VariantModel::Quantized(mlp), Some(qts))
             }
             other => {
                 return Err(StoreError::Corrupt(format!(
@@ -355,6 +378,20 @@ mod tests {
         // And the fp32 teacher is stored as f32.
         let t = a.tensor("v0.net.layer0.weight").expect("teacher weight");
         assert_eq!(t.dtype, Dtype::F32);
+    }
+
+    #[test]
+    fn loaded_int8_variant_is_native_quantized() {
+        let (reg, eval) = tiny_registry();
+        let back = load_family(&save_family(&reg)).expect("valid artifact");
+        let i = back.index_of("int8").expect("int8 variant");
+        assert!(
+            matches!(back.variants[i].model, VariantModel::Quantized(_)),
+            "load must rebuild the native int8 model, not an f32 shadow"
+        );
+        let mut a = reg.variants[i].model.clone();
+        let mut b = back.variants[i].model.clone();
+        assert_eq!(a.predict(&eval.x), b.predict(&eval.x));
     }
 
     #[test]

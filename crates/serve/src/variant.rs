@@ -10,22 +10,27 @@
 //! controller later routes between these variants by measured cost.
 
 use dl_compress::{
-    distill, magnitude_prune, quantize_network_tensors, DistillConfig, QuantizedTensor,
+    distill, magnitude_prune, quantize_network_tensors, DistillConfig, QuantizedMlp,
+    QuantizedTensor,
 };
 use dl_distributed::{morph_resize, MorphConfig};
 use dl_ensemble::{snapshot, Ensemble};
-use dl_nn::{Dataset, Network, Optimizer, TrainConfig, Trainer};
+use dl_nn::{metrics, Dataset, Network, Optimizer, TrainConfig, Trainer};
 use dl_prof::NetworkProfile;
 use dl_tensor::acct::{self, OpCost};
 use dl_tensor::{init, Tensor};
 
-/// A servable model: a single network or an ensemble of them.
+/// A servable model: a single network, an ensemble of them, or a
+/// quantized MLP executing natively on packed int8 codes.
 #[derive(Debug, Clone)]
 pub enum VariantModel {
     /// One network.
     Single(Network),
     /// A probability-averaging ensemble.
     Ensemble(Ensemble),
+    /// A quantized MLP whose batched forwards run on the packed codes
+    /// (native int8 GEMM) — no dequantized f32 weights on the hot path.
+    Quantized(QuantizedMlp),
 }
 
 impl VariantModel {
@@ -35,6 +40,7 @@ impl VariantModel {
         match self {
             VariantModel::Single(net) => net.predict(x),
             VariantModel::Ensemble(e) => e.predict(x),
+            VariantModel::Quantized(q) => q.predict(x),
         }
     }
 
@@ -44,15 +50,7 @@ impl VariantModel {
         match self {
             VariantModel::Single(net) => net.param_count(),
             VariantModel::Ensemble(e) => e.total_params(),
-        }
-    }
-
-    /// The representative network a per-layer profile is taken from
-    /// (member 0 for an ensemble).
-    fn representative_mut(&mut self) -> &mut Network {
-        match self {
-            VariantModel::Single(net) => net,
-            VariantModel::Ensemble(e) => &mut e.members[0],
+            VariantModel::Quantized(q) => q.param_count(),
         }
     }
 }
@@ -195,9 +193,17 @@ fn build_variant(
     let accuracy = match &mut model {
         VariantModel::Single(net) => Trainer::evaluate(net, eval),
         VariantModel::Ensemble(e) => e.accuracy(eval),
+        VariantModel::Quantized(q) => metrics::accuracy(&q.predict(&eval.x), &eval.y),
     };
     let x1 = eval.x.select_rows(&[0]);
-    let profile = NetworkProfile::profile(model.representative_mut(), &x1);
+    // Per-layer profiles need a structural f32 network: member 0 for an
+    // ensemble, the dequantized shadow (built once, off the hot path)
+    // for the native int8 variant.
+    let profile = match &mut model {
+        VariantModel::Single(net) => NetworkProfile::profile(net, &x1),
+        VariantModel::Ensemble(e) => NetworkProfile::profile(&mut e.members[0], &x1),
+        VariantModel::Quantized(q) => NetworkProfile::profile(&mut q.to_network(), &x1),
+    };
     let batch_costs = measure_batch_costs(&mut model, &eval.x, max_batch);
     Variant {
         name: name.to_string(),
@@ -230,10 +236,11 @@ pub fn build_family(data: &Dataset, eval: &Dataset, cfg: &FamilyConfig) -> Varia
     Trainer::new(train_cfg.clone(), Optimizer::adam(0.01)).fit(&mut teacher, data);
     let fp32_bytes = 4 * teacher.param_count() as u64;
 
-    // Int8: reconstructed weights serve, packed codes are what's stored —
-    // the codes are retained on the variant so persistence writes them
-    // natively.
-    let (int8_net, quant_report, int8_tensors) = quantize_network_tensors(&teacher, 8);
+    // Int8: the packed codes both serve (native int8 GEMM on the codes,
+    // no dequantized f32 weights on the hot path) and persist. The
+    // reconstruction network supplies only the Dense/ReLU architecture.
+    let (int8_shadow, quant_report, int8_tensors) = quantize_network_tensors(&teacher, 8);
+    let int8_native = QuantizedMlp::from_network_tensors(&int8_shadow, &int8_tensors);
 
     // Pruned: iterative global magnitude pruning (prune, briefly
     // fine-tune, re-prune). The fine-tune recovers accuracy; ending on a
@@ -311,7 +318,7 @@ pub fn build_family(data: &Dataset, eval: &Dataset, cfg: &FamilyConfig) -> Varia
         ),
         build_variant(
             "int8",
-            VariantModel::Single(int8_net),
+            VariantModel::Quantized(int8_native),
             quant_report.compressed_bytes as u64,
             eval,
             cfg.max_batch,
@@ -417,6 +424,57 @@ mod tests {
             (int8 as f64) < 0.35 * fp32 as f64,
             "int8 {int8} bytes vs fp32 {fp32} bytes"
         );
+    }
+
+    #[test]
+    fn int8_variant_serves_natively_on_packed_codes() {
+        let (mut reg, eval) = tiny_family();
+        let i = reg.index_of("int8").unwrap();
+        assert!(
+            matches!(reg.variants[i].model, VariantModel::Quantized(_)),
+            "int8 variant must execute on packed codes, not a dequantized f32 net"
+        );
+        assert!(reg.variants[i].quantized.is_some(), "codes retained for persistence");
+        // It still predicts competitively against the f32 teacher.
+        let fp32_acc = reg.variants[0].accuracy;
+        let int8_acc = reg.variants[i].accuracy;
+        assert!(
+            int8_acc >= fp32_acc - 0.1,
+            "native int8 accuracy {int8_acc} collapsed vs fp32 {fp32_acc}"
+        );
+        // And its predictions match the dequantized shadow almost always.
+        let shadow = match &reg.variants[i].model {
+            VariantModel::Quantized(q) => q.to_network(),
+            _ => unreachable!(),
+        };
+        let native = reg.variants[i].model.predict(&eval.x);
+        let want = { let mut s = shadow; s.predict(&eval.x) };
+        let agree = native.iter().zip(&want).filter(|(a, b)| a == b).count();
+        assert!(
+            agree * 10 >= native.len() * 9,
+            "native int8 agreed with shadow on only {agree}/{}",
+            native.len()
+        );
+    }
+
+    #[test]
+    fn int8_batch_costs_count_packed_bytes_not_f32_footprint() {
+        // Satellite: the measured bytes-read term that flows into
+        // DeviceModel pricing must reflect what actually streams —
+        // 1-byte packed codes — not a dequantized f32 shadow.
+        let (reg, _) = tiny_family();
+        let fp32 = &reg.variants[reg.index_of("fp32-base").unwrap()];
+        let int8 = &reg.variants[reg.index_of("int8").unwrap()];
+        let b = int8.max_batch();
+        let f32_br = fp32.cost_at(b).bytes_read;
+        let int8_br = int8.cost_at(b).bytes_read;
+        assert!(
+            int8_br < f32_br,
+            "int8 batch-{b} bytes_read {int8_br} must undercut fp32 {f32_br}"
+        );
+        // Compute shrinks too: integer GEMM flops ≈ f32 flops without
+        // the zero-skip discount, but the byte traffic is the point.
+        assert!(int8.cost_at(b).flops > 0);
     }
 
     #[test]

@@ -30,6 +30,35 @@
 //! so no ordering or rounding concerns arise the way they would for
 //! floats.
 //!
+//! # Per-precision charging rules
+//!
+//! The kernel layer in `crate::par` spans three precisions; each has a
+//! fixed charging rule so measured tables (and everything priced off
+//! them — `DeviceModel` service times, batch-cost tables, residency
+//! economics) are reproducible by hand:
+//!
+//! * **f32, scalar or unrolled** (`DL_KERNEL` dispatch): the unrolled
+//!   FMA kernels charge **exactly what the scalar oracle charges** — a
+//!   fused multiply-add still counts as 2 flops (the FMA-free
+//!   convention above), and bytes are 4 per element. The knob changes
+//!   wall-clock and last-bit rounding, never an [`OpCost`]. A matmul
+//!   charges `2·nnz·n` flops, `4·(m·k + k·n)` bytes read, `4·m·n`
+//!   written, under either kernel at any thread count.
+//! * **int8 GEMM** (`par::matmul_q8`): `2·m·k·n + 4·m·n` flops (the
+//!   integer multiply-adds plus the per-output affine rescale, counted
+//!   by the same 2-flops-per-multiply-add convention; no zero-skip
+//!   discount — the integer skip is pure speed), **`m·k + k·n` bytes
+//!   read — one byte per packed code**, which is what actually streams
+//!   from memory and why a quantized variant's measured bytes-read term
+//!   is ~4× smaller than its f32 shadow's, and `4·m·n` bytes written
+//!   for the f32 output. Per-row/per-column code-sum precomputation is
+//!   excluded, like panel packing in the f32 path.
+//! * **dynamic activation quantization** (`dl-compress`'s int8 forward
+//!   quantizing each activation batch on the fly): `3·n` flops
+//!   (subtract, scale, round per element), `8·n` bytes read (one f32
+//!   pass for the min/max range scan, one for the encode), `n` bytes
+//!   written (the codes).
+//!
 //! ```
 //! use dl_tensor::{acct, Tensor};
 //! let a = Tensor::ones([4, 8]);

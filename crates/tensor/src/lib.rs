@@ -15,7 +15,12 @@
 //! * [`par`] — a zero-dependency parallel + cache-blocked compute backend
 //!   (persistent `std::thread` worker pool, `DL_THREADS`/[`par::set_threads`]
 //!   thread-count control) whose kernels are **bit-identical** to the
-//!   sequential ones and charge identical [`acct`] costs.
+//!   sequential ones and charge identical [`acct`] costs. It also hosts the
+//!   reduced-precision kernel layer: a `DL_KERNEL={scalar,unrolled}` dispatch
+//!   knob ([`par::with_kernel`]) selecting between the scalar reference
+//!   oracle and width-8 `mul_add` kernels with a fixed lane tree-reduce, and
+//!   [`par::matmul_q8`] — a native int8 GEMM over packed affine codes with
+//!   exact integer accumulation and one rescale per output.
 //!
 //! Design notes (see `DESIGN.md` at the workspace root):
 //!

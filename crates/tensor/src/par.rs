@@ -30,6 +30,37 @@
 //! override, then [`set_threads`], then the `DL_THREADS` environment
 //! variable, then `std::thread::available_parallelism()`.
 //!
+//! # Kernel dispatch (`DL_KERNEL`)
+//!
+//! The f32 kernels come in two implementations selected by a knob that
+//! mirrors the thread knob exactly: a scoped [`with_kernel`] override,
+//! then [`set_kernel`], then the `DL_KERNEL` environment variable
+//! (`scalar` or `unrolled`), defaulting to [`Kernel::Scalar`].
+//!
+//! * [`Kernel::Scalar`] is the reference oracle: plain multiply-then-add
+//!   in strict ascending order, bit-identical to the sequential
+//!   [`Tensor`] kernels.
+//! * [`Kernel::Unrolled`] is the data-level parallel path: width-8
+//!   explicitly unrolled inner loops built on [`f32::mul_add`] (one
+//!   rounding per multiply-add instead of two), and one-output
+//!   reductions ([`sum`], [`dot`], the `mid` loop of [`sum_axis`])
+//!   accumulated in **eight lanes folded by a fixed tree**: element `i`
+//!   goes to lane `i % 8` in ascending order, and the lanes reduce as
+//!   `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. Because the accumulation
+//!   order is fixed per output element and work only ever splits along
+//!   independent outputs, unrolled results are bitwise-pinned: identical
+//!   at every `DL_THREADS` count and every tile width — they just differ
+//!   from the scalar oracle in the last bits (fused roundings), which is
+//!   why goldens are pinned *per precision*. Both kernels charge the
+//!   identical [`acct`] cost (an FMA counts as 2 flops, the static
+//!   model's convention), so cost tables never depend on the knob.
+//!
+//! [`matmul_q8`] is the third precision: a native int8 GEMM over packed
+//! affine codes with exact integer accumulation (see its docs and the
+//! per-precision charging rules in [`acct`]). Integer arithmetic is
+//! associative, so it has a single implementation — deterministic at any
+//! thread count with no kernel dispatch.
+//!
 //! Cache blocking: [`matmul_blocked`] tiles the output columns and packs
 //! each `[k, tile]` panel of `B` into a contiguous scratch buffer per
 //! tile, so the inner fused multiply-add loop walks two dense arrays that
@@ -132,6 +163,98 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
         }
     }
     let prev = OVERRIDE.with(|o| o.replace(n.clamp(1, MAX_THREADS)));
+    let _reset = Reset(prev);
+    f()
+}
+
+// ----------------------------------------------------------------------
+// Kernel dispatch
+// ----------------------------------------------------------------------
+
+/// Which f32 micro-kernel implementation the backend dispatches to. See
+/// the module docs for the exact accumulation-order contract of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Reference kernels: plain multiply-then-add in strict ascending
+    /// order, bit-identical to the sequential [`Tensor`] kernels. The
+    /// oracle every other implementation is tested against.
+    Scalar,
+    /// Width-8 explicitly unrolled kernels built on [`f32::mul_add`]
+    /// with the fixed eight-lane tree-reduce for one-output reductions.
+    /// Bitwise-pinned across thread counts and tile widths; differs from
+    /// [`Kernel::Scalar`] only by the fused roundings.
+    Unrolled,
+}
+
+/// Global kernel choice; 0 = not yet resolved, else `kernel_code`.
+static GLOBAL_KERNEL: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_kernel`]; 0 = none.
+    static KERNEL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn kernel_code(k: Kernel) -> usize {
+    match k {
+        Kernel::Scalar => 1,
+        Kernel::Unrolled => 2,
+    }
+}
+
+fn kernel_from_code(code: usize) -> Kernel {
+    if code == 2 {
+        Kernel::Unrolled
+    } else {
+        Kernel::Scalar
+    }
+}
+
+/// `DL_KERNEL` when set to a recognised name, else [`Kernel::Scalar`].
+fn default_kernel() -> usize {
+    let k = match std::env::var("DL_KERNEL").ok().as_deref().map(str::trim) {
+        Some(s) if s.eq_ignore_ascii_case("unrolled") => Kernel::Unrolled,
+        _ => Kernel::Scalar,
+    };
+    kernel_code(k)
+}
+
+/// Sets the process-wide default kernel. Overrides the `DL_KERNEL`
+/// environment variable.
+pub fn set_kernel(k: Kernel) {
+    GLOBAL_KERNEL.store(kernel_code(k), Ordering::SeqCst);
+}
+
+/// The effective kernel for launches from this thread: the innermost
+/// [`with_kernel`] override if any, else the global setting, resolved on
+/// first use from `DL_KERNEL` (default [`Kernel::Scalar`]).
+#[must_use]
+pub fn kernel() -> Kernel {
+    let o = KERNEL_OVERRIDE.with(Cell::get);
+    if o > 0 {
+        return kernel_from_code(o);
+    }
+    let g = GLOBAL_KERNEL.load(Ordering::SeqCst);
+    if g > 0 {
+        return kernel_from_code(g);
+    }
+    let d = default_kernel();
+    // First resolver wins; a concurrent set_kernel simply overwrites.
+    let _ = GLOBAL_KERNEL.compare_exchange(0, d, Ordering::SeqCst, Ordering::SeqCst);
+    kernel_from_code(GLOBAL_KERNEL.load(Ordering::SeqCst))
+}
+
+/// Runs `f` with the effective kernel forced to `k` on this thread,
+/// restoring the previous override on exit — including on panic. The
+/// kernel is resolved on the *launching* thread and handed to pool
+/// workers, so the override governs parallel launches too.
+pub fn with_kernel<R>(k: Kernel, f: impl FnOnce() -> R) -> R {
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            KERNEL_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = KERNEL_OVERRIDE.with(|o| o.replace(kernel_code(k)));
     let _reset = Reset(prev);
     f()
 }
@@ -354,11 +477,16 @@ fn ranges(count: usize, parts: usize) -> Vec<(usize, usize)> {
 /// output columns processed `tile` at a time through a packed panel of
 /// `B`. For every output element the `k` accumulation runs in ascending
 /// index order with the sequential kernel's `a == 0.0` skip, so the
-/// result is bit-identical to [`Tensor::matmul`]'s triple loop. Returns
-/// the number of non-zero `A` elements visited (counted once per
-/// element, on the first tile), the sequential kernel's `nnz`.
+/// result is bit-identical across thread counts and tile widths for
+/// either kernel: [`Kernel::Scalar`] reproduces [`Tensor::matmul`]'s
+/// triple loop exactly, while [`Kernel::Unrolled`] folds each
+/// multiply-add with [`f32::mul_add`] in width-8 chunks — the same
+/// per-element order, one rounding per step instead of two. Returns the
+/// number of non-zero `A` elements visited (counted once per element,
+/// on the first tile), the sequential kernel's `nnz`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_rows(
+    kern: Kernel,
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
@@ -394,8 +522,29 @@ fn gemm_rows(
                     nnz += 1;
                 }
                 let b_row = &panel[kk * tw..kk * tw + tw];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
+                match kern {
+                    Kernel::Scalar => {
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
+                    Kernel::Unrolled => {
+                        let mut oc = out_row.chunks_exact_mut(8);
+                        let mut bc = b_row.chunks_exact(8);
+                        for (o8, b8) in (&mut oc).zip(&mut bc) {
+                            o8[0] = av.mul_add(b8[0], o8[0]);
+                            o8[1] = av.mul_add(b8[1], o8[1]);
+                            o8[2] = av.mul_add(b8[2], o8[2]);
+                            o8[3] = av.mul_add(b8[3], o8[3]);
+                            o8[4] = av.mul_add(b8[4], o8[4]);
+                            o8[5] = av.mul_add(b8[5], o8[5]);
+                            o8[6] = av.mul_add(b8[6], o8[6]);
+                            o8[7] = av.mul_add(b8[7], o8[7]);
+                        }
+                        for (o, &bv) in oc.into_remainder().iter_mut().zip(bc.remainder()) {
+                            *o = av.mul_add(bv, *o);
+                        }
+                    }
                 }
             }
         }
@@ -424,10 +573,13 @@ fn matmul_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
 /// Runs the blocked GEMM over `out` split row-wise across the effective
 /// thread count and returns the merged `nnz`. The caller charges acct.
 fn gemm_parallel(a: &Tensor, b: &Tensor, out: &mut [f32], k: usize, n: usize, tile: usize) -> u64 {
+    // Resolve the kernel on the launching thread: workers must not read
+    // their own (unset) thread-local override.
+    let kern = kernel();
     let m = out.len() / n.max(1);
     let splits = ranges(m, threads());
     if splits.len() <= 1 {
-        return gemm_rows(a.data(), b.data(), out, 0, m, k, n, tile);
+        return gemm_rows(kern, a.data(), b.data(), out, 0, m, k, n, tile);
     }
     let mut shares = vec![0u64; splits.len()];
     {
@@ -439,7 +591,7 @@ fn gemm_parallel(a: &Tensor, b: &Tensor, out: &mut [f32], k: usize, n: usize, ti
             let (mine, rest) = remaining.split_at_mut((hi - lo) * n);
             remaining = rest;
             tasks.push(Box::new(move || {
-                *share = gemm_rows(a_data, b_data, mine, lo, hi, k, n, tile);
+                *share = gemm_rows(kern, a_data, b_data, mine, lo, hi, k, n, tile);
             }));
         }
         run_tasks(tasks);
@@ -504,6 +656,118 @@ pub fn matmul_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let flops = 2 * nnz * n as u64;
     acct::charge(flops, 4 * (m * k + k * n + m * n) as u64, 4 * (m * n) as u64);
     kernel_span_end(span, flops);
+}
+
+// ----------------------------------------------------------------------
+// Native int8 GEMM
+// ----------------------------------------------------------------------
+
+/// Native int8 GEMM over packed affine codes: computes the `[m, n]` f32
+/// product of two affinely-quantized matrices `Â·B̂` where
+/// `Â[i,kk] = a_zero + a_scale·a_codes[i,kk]` (likewise for `B̂`), without
+/// ever materialising the dequantized f32 operands. The accumulation is
+/// exact: codes multiply in integer arithmetic (`i64`, immune to
+/// overflow at any workspace size), and the affine terms expand to
+///
+/// ```text
+/// Σ_k Â·B̂ = k·za·zb  +  za·sb·Σ_k b  +  zb·sa·Σ_k a  +  sa·sb·Σ_k a·b
+/// ```
+///
+/// so each output pays exactly **one affine rescale** (two `f64`
+/// multiply-adds over precomputed per-row/per-column code sums) at the
+/// end. Integer sums are order-independent, so the result is bitwise
+/// identical at every thread count and needs no kernel dispatch.
+///
+/// Charges the int8 rule documented in [`acct`]: `2·m·k·n + 4·m·n`
+/// flops, `m·k + k·n` bytes read (**one byte per packed code** — this is
+/// what actually streams from memory, and what makes the int8 serve
+/// variant's measured bytes-read term shrink ~4× against f32), and
+/// `4·m·n` bytes written. The zero-code multiply skip is a speed
+/// optimisation only (`0·b` is exactly 0 in integers) and does not
+/// change the charge.
+///
+/// # Panics
+/// Panics when the code slices do not have exactly `m·k` / `k·n`
+/// elements.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_q8(
+    a_codes: &[u8],
+    a_scale: f32,
+    a_zero: f32,
+    b_codes: &[u8],
+    b_scale: f32,
+    b_zero: f32,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Vec<f32> {
+    assert_eq!(a_codes.len(), m * k, "a codes must be [m={m}, k={k}]");
+    assert_eq!(b_codes.len(), k * n, "b codes must be [k={k}, n={n}]");
+    let t = threads().min(m.max(1));
+    let span = kernel_span_start("kernel.matmul_q8", m, n, k, t);
+    if k == 0 {
+        // An empty sum is exactly zero. Guarded up front because the
+        // affine parameters of an empty quantized tensor are degenerate
+        // (a range scan over no elements yields infinite zero points).
+        let flops = 4 * (m * n) as u64;
+        acct::charge(flops, 0, 4 * (m * n) as u64);
+        kernel_span_end(span, flops);
+        return vec![0.0f32; m * n];
+    }
+    // Per-column code sums for the affine expansion — shared by every
+    // row, computed once (excluded from the charge like panel packing).
+    let mut col_sums = vec![0i64; n];
+    for kk in 0..k {
+        let b_row = &b_codes[kk * n..(kk + 1) * n];
+        for (s, &c) in col_sums.iter_mut().zip(b_row) {
+            *s += i64::from(c);
+        }
+    }
+    let base = f64::from(a_zero) * f64::from(b_zero) * k as f64;
+    let za_sb = f64::from(a_zero) * f64::from(b_scale);
+    let zb_sa = f64::from(b_zero) * f64::from(a_scale);
+    let sa_sb = f64::from(a_scale) * f64::from(b_scale);
+    let mut out = vec![0.0f32; m * n];
+    {
+        let splits = ranges(m, t);
+        let col_sums = &col_sums;
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(splits.len());
+        let mut remaining = out.as_mut_slice();
+        for &(lo, hi) in &splits {
+            let (mine, rest) = remaining.split_at_mut((hi - lo) * n);
+            remaining = rest;
+            tasks.push(Box::new(move || {
+                let mut acc = vec![0i64; n];
+                for i in lo..hi {
+                    let a_row = &a_codes[i * k..(i + 1) * k];
+                    acc.fill(0);
+                    let mut row_sum = 0i64;
+                    for (kk, &ac) in a_row.iter().enumerate() {
+                        let av = i64::from(ac);
+                        row_sum += av;
+                        if av == 0 {
+                            continue; // 0·b is exactly 0: pure speed, same bits
+                        }
+                        let b_row = &b_codes[kk * n..(kk + 1) * n];
+                        for (s, &bc) in acc.iter_mut().zip(b_row) {
+                            *s += av * i64::from(bc);
+                        }
+                    }
+                    let row_term = base + zb_sa * row_sum as f64;
+                    let out_row = &mut mine[(i - lo) * n..(i - lo + 1) * n];
+                    for ((o, &s), &cs) in out_row.iter_mut().zip(&acc).zip(col_sums) {
+                        *o = (row_term + za_sb * cs as f64 + sa_sb * s as f64) as f32;
+                    }
+                }
+            }));
+        }
+        run_tasks(tasks);
+    }
+    let flops = 2 * (m * k * n) as u64 + 4 * (m * n) as u64;
+    acct::charge(flops, (m * k + k * n) as u64, 4 * (m * n) as u64);
+    kernel_span_end(span, flops);
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -656,10 +920,13 @@ pub fn col2im(
 
 /// Parallel [`Tensor::map`]: applies `f` to every element with the flat
 /// buffer split contiguously across threads. `f` is applied to each
-/// element independently, so any split is bit-identical. Charges the
-/// sequential kernel's cost.
+/// element independently, so any split is bit-identical — and so is the
+/// [`Kernel::Unrolled`] width-8 body (eight independent applications per
+/// iteration; no accumulation order to pin). Charges the sequential
+/// kernel's cost.
 #[must_use]
 pub fn map(t_in: &Tensor, f: impl Fn(f32) -> f32 + Send + Sync) -> Tensor {
+    let kern = kernel();
     let len = t_in.len();
     let t = threads().min(len.max(1));
     let mut out = vec![0.0f32; len];
@@ -672,9 +939,28 @@ pub fn map(t_in: &Tensor, f: impl Fn(f32) -> f32 + Send + Sync) -> Tensor {
         for &(lo, hi) in &splits {
             let (mine, rest) = remaining.split_at_mut(hi - lo);
             remaining = rest;
-            tasks.push(Box::new(move || {
-                for (o, &x) in mine.iter_mut().zip(&data[lo..hi]) {
-                    *o = f(x);
+            tasks.push(Box::new(move || match kern {
+                Kernel::Scalar => {
+                    for (o, &x) in mine.iter_mut().zip(&data[lo..hi]) {
+                        *o = f(x);
+                    }
+                }
+                Kernel::Unrolled => {
+                    let mut oc = mine.chunks_exact_mut(8);
+                    let mut xc = data[lo..hi].chunks_exact(8);
+                    for (o8, x8) in (&mut oc).zip(&mut xc) {
+                        o8[0] = f(x8[0]);
+                        o8[1] = f(x8[1]);
+                        o8[2] = f(x8[2]);
+                        o8[3] = f(x8[3]);
+                        o8[4] = f(x8[4]);
+                        o8[5] = f(x8[5]);
+                        o8[6] = f(x8[6]);
+                        o8[7] = f(x8[7]);
+                    }
+                    for (o, &x) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
+                        *o = f(x);
+                    }
                 }
             }));
         }
@@ -685,13 +971,78 @@ pub fn map(t_in: &Tensor, f: impl Fn(f32) -> f32 + Send + Sync) -> Tensor {
     Tensor::from_vec(out, t_in.shape().clone()).expect("map output length matches input")
 }
 
+/// The fixed lane fold of the unrolled reductions:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`. Part of the documented
+/// accumulation order — changing this changes pinned goldens.
+#[inline]
+fn tree_reduce8(l: [f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Full-tensor sum with kernel dispatch, charging [`Tensor::sum`]'s
+/// cost. [`Kernel::Scalar`] is bit-identical to [`Tensor::sum`]'s serial
+/// fold. [`Kernel::Unrolled`] accumulates element `i` into lane `i % 8`
+/// in ascending order and folds the lanes with the fixed tree — a
+/// single-output reduction, so it stays sequential (the lane tree is the
+/// data-level parallelism), and its bits are pinned independent of
+/// `DL_THREADS`.
+#[must_use]
+pub fn sum(t_in: &Tensor) -> f32 {
+    let n = t_in.len() as u64;
+    acct::charge(n, 4 * n, 0);
+    match kernel() {
+        Kernel::Scalar => t_in.data().iter().sum(),
+        Kernel::Unrolled => {
+            let mut lanes = [0.0f32; 8];
+            for (i, &x) in t_in.data().iter().enumerate() {
+                lanes[i % 8] += x;
+            }
+            tree_reduce8(lanes)
+        }
+    }
+}
+
+/// Vector dot product with kernel dispatch, charging [`Tensor::dot`]'s
+/// cost. [`Kernel::Scalar`] is bit-identical to [`Tensor::dot`].
+/// [`Kernel::Unrolled`] fuses each product into lane `i % 8` with
+/// [`f32::mul_add`] in ascending order and folds with the fixed tree.
+///
+/// # Panics
+/// Panics when operands are not vectors of equal length.
+#[must_use]
+pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.rank(), 1, "dot requires vectors");
+    assert_eq!(b.rank(), 1, "dot requires vectors");
+    assert_eq!(a.len(), b.len(), "dot requires equal lengths");
+    let n = a.len() as u64;
+    acct::charge(2 * n, 8 * n, 0);
+    match kernel() {
+        Kernel::Scalar => a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| x * y)
+            .sum(),
+        Kernel::Unrolled => {
+            let mut lanes = [0.0f32; 8];
+            for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+                lanes[i % 8] = x.mul_add(y, lanes[i % 8]);
+            }
+            tree_reduce8(lanes)
+        }
+    }
+}
+
 /// Parallel [`Tensor::sum_axis`]: the reduction is split over *output*
-/// elements, and each output element accumulates its `mid` addends in
-/// ascending index order — the sequential kernel's order — so the result
-/// is bit-identical. (A full [`Tensor::sum`] cannot be parallelized this
-/// way: it has a single output element whose addition order *is* the
-/// serial order, so it stays sequential.) Charges the sequential
-/// kernel's cost.
+/// elements, and each output element accumulates its `mid` addends in a
+/// fixed order, so the result is bit-identical at any thread count.
+/// Under [`Kernel::Scalar`] that order is the sequential kernel's
+/// ascending serial fold (== [`Tensor::sum_axis`] bitwise); under
+/// [`Kernel::Unrolled`] addend `m` goes to lane `m % 8` ascending and
+/// the lanes fold with the fixed tree. (A full serial-order
+/// [`Tensor::sum`] cannot be parallelized without reordering — see
+/// [`sum`] for the lane-tree version.) Charges the sequential kernel's
+/// cost.
 ///
 /// # Panics
 /// Panics when `axis >= rank`.
@@ -707,6 +1058,7 @@ pub fn sum_axis(t_in: &Tensor, axis: usize) -> Tensor {
     let mid = dims[axis];
     let inner: usize = dims[axis + 1..].iter().product();
     let out_len = outer * inner;
+    let kern = kernel();
     let t = threads().min(out_len.max(1));
     let mut out = vec![0.0f32; out_len];
     {
@@ -721,11 +1073,22 @@ pub fn sum_axis(t_in: &Tensor, axis: usize) -> Tensor {
                 for (off, o) in mine.iter_mut().enumerate() {
                     let idx = lo + off;
                     let (ob, i) = (idx / inner.max(1), idx % inner.max(1));
-                    let mut acc = 0.0f32;
-                    for m in 0..mid {
-                        acc += data[(ob * mid + m) * inner + i];
-                    }
-                    *o = acc;
+                    *o = match kern {
+                        Kernel::Scalar => {
+                            let mut acc = 0.0f32;
+                            for m in 0..mid {
+                                acc += data[(ob * mid + m) * inner + i];
+                            }
+                            acc
+                        }
+                        Kernel::Unrolled => {
+                            let mut lanes = [0.0f32; 8];
+                            for m in 0..mid {
+                                lanes[m % 8] += data[(ob * mid + m) * inner + i];
+                            }
+                            tree_reduce8(lanes)
+                        }
+                    };
                 }
             }));
         }
@@ -787,7 +1150,9 @@ mod tests {
             let want = a.matmul(&b);
             for &t in &thread_counts() {
                 for tile in [1usize, 2, 16, 256] {
-                    let got = with_threads(t, || matmul_blocked(&a, &b, tile));
+                    let got = with_kernel(Kernel::Scalar, || {
+                        with_threads(t, || matmul_blocked(&a, &b, tile))
+                    });
                     assert_eq!(
                         got.data(),
                         want.data(),
@@ -797,6 +1162,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn unrolled_matmul_bitwise_stable_across_threads_and_tiles() {
+        // The unrolled kernel's bits differ from scalar (fused
+        // roundings) but must be pinned across every thread count and
+        // tile width — the PR's core determinism contract.
+        let shapes = [
+            (1usize, 7usize, 1usize),
+            (5, 1, 3),
+            (17, 33, 9),
+            (64, 32, 48),
+            (0, 4, 4),
+            (4, 0, 4),
+            (4, 4, 0),
+        ];
+        for (si, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = sparse_random(m, k, 300 + si as u64);
+            let b = sparse_random(k, n, 400 + si as u64);
+            let want = with_kernel(Kernel::Unrolled, || {
+                with_threads(1, || matmul_blocked(&a, &b, DEFAULT_TILE_COLS))
+            });
+            for &t in &thread_counts() {
+                for tile in [1usize, 2, 16, 256] {
+                    let got = with_kernel(Kernel::Unrolled, || {
+                        with_threads(t, || matmul_blocked(&a, &b, tile))
+                    });
+                    assert_eq!(
+                        got.data(),
+                        want.data(),
+                        "unrolled shape ({m},{k},{n}) threads {t} tile {tile} diverged"
+                    );
+                }
+            }
+            // And it stays a faithful matmul: tiny elementwise distance
+            // from the scalar oracle (pure rounding differences).
+            let oracle = a.matmul(&b);
+            for (g, w) in want.data().iter().zip(oracle.data()) {
+                assert!(
+                    (g - w).abs() <= 1e-4 * w.abs().max(1.0),
+                    "unrolled drifted beyond rounding: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_kernel_scopes_and_restores() {
+        let outer = kernel();
+        let inner = with_kernel(Kernel::Unrolled, || {
+            assert_eq!(kernel(), Kernel::Unrolled);
+            with_kernel(Kernel::Scalar, kernel)
+        });
+        assert_eq!(inner, Kernel::Scalar);
+        assert_eq!(kernel(), outer);
     }
 
     proptest! {
@@ -812,7 +1232,8 @@ mod tests {
             let b = sparse_random(k, n, seed.wrapping_add(1));
             let want = a.matmul(&b);
             for &t in &thread_counts() {
-                let got = with_threads(t, || matmul_blocked(&a, &b, tile));
+                let got =
+                    with_kernel(Kernel::Scalar, || with_threads(t, || matmul_blocked(&a, &b, tile)));
                 prop_assert_eq!(got.data(), want.data());
             }
         }
@@ -839,8 +1260,25 @@ mod tests {
         }
         for &t in &thread_counts() {
             let mut out = init_out.clone();
-            with_threads(t, || matmul_acc(&a, &b, &mut out));
+            with_kernel(Kernel::Scalar, || {
+                with_threads(t, || matmul_acc(&a, &b, &mut out))
+            });
             assert_eq!(out.data(), want.data(), "threads {t} diverged");
+        }
+        // Unrolled matmul_acc: pinned across thread counts too.
+        let want_u = {
+            let mut out = init_out.clone();
+            with_kernel(Kernel::Unrolled, || {
+                with_threads(1, || matmul_acc(&a, &b, &mut out))
+            });
+            out
+        };
+        for &t in &thread_counts() {
+            let mut out = init_out.clone();
+            with_kernel(Kernel::Unrolled, || {
+                with_threads(t, || matmul_acc(&a, &b, &mut out))
+            });
+            assert_eq!(out.data(), want_u.data(), "unrolled threads {t} diverged");
         }
     }
 
@@ -870,16 +1308,58 @@ mod tests {
         let want_rows = x.sum_axis(0);
         let want_cols = x.sum_axis(1);
         for &t in &thread_counts() {
-            let (m2, r0, r1) = with_threads(t, || {
-                (
-                    map(&x, |v| v * 1.5 - 0.25),
-                    sum_axis(&x, 0),
-                    sum_axis(&x, 1),
-                )
+            let (m2, r0, r1) = with_kernel(Kernel::Scalar, || {
+                with_threads(t, || {
+                    (
+                        map(&x, |v| v * 1.5 - 0.25),
+                        sum_axis(&x, 0),
+                        sum_axis(&x, 1),
+                    )
+                })
             });
             assert_eq!(m2.data(), want_map.data(), "map threads {t}");
             assert_eq!(r0.data(), want_rows.data(), "sum_axis(0) threads {t}");
             assert_eq!(r1.data(), want_cols.data(), "sum_axis(1) threads {t}");
+        }
+        // Map is kernel-independent bitwise; unrolled sum_axis is pinned
+        // across thread counts.
+        let (m_u, r_u) = with_kernel(Kernel::Unrolled, || {
+            with_threads(1, || (map(&x, |v| v * 1.5 - 0.25), sum_axis(&x, 0)))
+        });
+        assert_eq!(m_u.data(), want_map.data(), "map must not depend on kernel");
+        for &t in &thread_counts() {
+            let r = with_kernel(Kernel::Unrolled, || with_threads(t, || sum_axis(&x, 0)));
+            assert_eq!(r.data(), r_u.data(), "unrolled sum_axis threads {t}");
+        }
+    }
+
+    #[test]
+    fn sum_and_dot_scalar_match_tensor_bitwise_and_unrolled_are_pinned() {
+        let mut r = init::rng(77);
+        let x = init::uniform([203], -2.0, 2.0, &mut r);
+        let y = init::uniform([203], -2.0, 2.0, &mut r);
+        let s_scalar = with_kernel(Kernel::Scalar, || sum(&x));
+        assert_eq!(s_scalar.to_bits(), x.sum().to_bits());
+        let d_scalar = with_kernel(Kernel::Scalar, || dot(&x, &y));
+        assert_eq!(d_scalar.to_bits(), x.dot(&y).to_bits());
+        // Unrolled: deterministic (same bits every call), close to scalar.
+        let s_u = with_kernel(Kernel::Unrolled, || sum(&x));
+        assert_eq!(s_u.to_bits(), with_kernel(Kernel::Unrolled, || sum(&x)).to_bits());
+        assert!((s_u - s_scalar).abs() <= 1e-3 * s_scalar.abs().max(1.0));
+        let d_u = with_kernel(Kernel::Unrolled, || dot(&x, &y));
+        assert_eq!(
+            d_u.to_bits(),
+            with_kernel(Kernel::Unrolled, || dot(&x, &y)).to_bits()
+        );
+        assert!((d_u - d_scalar).abs() <= 1e-3 * d_scalar.abs().max(1.0));
+        // Both kernels charge the sequential cost.
+        let (_, want_sum) = acct::measure(|| x.sum());
+        let (_, want_dot) = acct::measure(|| x.dot(&y));
+        for kern in [Kernel::Scalar, Kernel::Unrolled] {
+            let (_, cs) = acct::measure(|| with_kernel(kern, || sum(&x)));
+            assert_eq!(cs, want_sum);
+            let (_, cd) = acct::measure(|| with_kernel(kern, || dot(&x, &y)));
+            assert_eq!(cd, want_dot);
         }
     }
 
@@ -888,17 +1368,96 @@ mod tests {
         let a = sparse_random(33, 17, 11); // odd sizes => uneven splits
         let b = sparse_random(17, 29, 12);
         let (_, seq) = acct::measure(|| a.matmul(&b));
-        for &t in &thread_counts() {
-            let (_, par_cost) = acct::measure(|| with_threads(t, || matmul(&a, &b)));
-            assert_eq!(par_cost, seq, "threads {t}: parallel OpCost diverged");
+        // Both kernels charge the identical cost — an FMA counts as 2
+        // flops, so the cost model never depends on DL_KERNEL.
+        for kern in [Kernel::Scalar, Kernel::Unrolled] {
+            for &t in &thread_counts() {
+                let (_, par_cost) =
+                    acct::measure(|| with_kernel(kern, || with_threads(t, || matmul(&a, &b))));
+                assert_eq!(par_cost, seq, "{kern:?} threads {t}: OpCost diverged");
+            }
         }
         // The other kernels too.
         let (_, seq_map) = acct::measure(|| a.map(|v| v + 1.0));
-        let (_, par_map) = acct::measure(|| with_threads(3, || map(&a, |v| v + 1.0)));
-        assert_eq!(par_map, seq_map);
         let (_, seq_red) = acct::measure(|| a.sum_axis(0));
-        let (_, par_red) = acct::measure(|| with_threads(3, || sum_axis(&a, 0)));
-        assert_eq!(par_red, seq_red);
+        for kern in [Kernel::Scalar, Kernel::Unrolled] {
+            let (_, par_map) = acct::measure(|| {
+                with_kernel(kern, || with_threads(3, || map(&a, |v| v + 1.0)))
+            });
+            assert_eq!(par_map, seq_map);
+            let (_, par_red) =
+                acct::measure(|| with_kernel(kern, || with_threads(3, || sum_axis(&a, 0))));
+            assert_eq!(par_red, seq_red);
+        }
+    }
+
+    /// Deterministic codes with some exact zeros, mimicking quantized
+    /// activations/weights.
+    fn codes(len: usize, salt: u64) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                if i % 7 == 0 {
+                    0
+                } else {
+                    ((i as u64).wrapping_mul(2_654_435_761).wrapping_add(salt * 13) % 256) as u8
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_q8_matches_dequantized_reference_and_is_thread_stable() {
+        for &(m, k, n) in &[(4usize, 6usize, 5usize), (17, 33, 9), (1, 1, 1), (0, 3, 2), (3, 0, 2), (3, 2, 0)] {
+            let ac = codes(m * k, 1);
+            let bc = codes(k * n, 2);
+            let (sa, za, sb, zb) = (0.031f32, -1.7f32, 0.011f32, -0.4f32);
+            let want = with_threads(1, || matmul_q8(&ac, sa, za, &bc, sb, zb, m, k, n));
+            // Bitwise-stable at every thread count (exact integer sums).
+            for &t in &thread_counts() {
+                let got = with_threads(t, || matmul_q8(&ac, sa, za, &bc, sb, zb, m, k, n));
+                assert_eq!(got, want, "({m},{k},{n}) threads {t} diverged");
+            }
+            // And kernel-knob independent: one int8 implementation.
+            let got_u = with_kernel(Kernel::Unrolled, || {
+                matmul_q8(&ac, sa, za, &bc, sb, zb, m, k, n)
+            });
+            assert_eq!(got_u, want);
+            // Close to the dequantize-then-f32 reference (the int8 path
+            // is *more* exact: integer accumulation + one f64 rescale).
+            let a = Tensor::from_vec(
+                ac.iter().map(|&c| za + sa * f32::from(c)).collect(),
+                [m, k],
+            )
+            .unwrap();
+            let b = Tensor::from_vec(
+                bc.iter().map(|&c| zb + sb * f32::from(c)).collect(),
+                [k, n],
+            )
+            .unwrap();
+            let reference = a.matmul(&b);
+            for (g, w) in want.iter().zip(reference.data()) {
+                assert!(
+                    (g - w).abs() <= 1e-3 * w.abs().max(1.0),
+                    "q8 ({m},{k},{n}): {g} vs reference {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_q8_charges_the_documented_int8_rule() {
+        let (m, k, n) = (9usize, 14usize, 11usize);
+        let ac = codes(m * k, 3);
+        let bc = codes(k * n, 4);
+        let (_, cost) =
+            acct::measure(|| with_threads(3, || matmul_q8(&ac, 0.1, 0.0, &bc, 0.2, -1.0, m, k, n)));
+        assert_eq!(cost.flops, 2 * (m * k * n) as u64 + 4 * (m * n) as u64);
+        assert_eq!(cost.bytes_read, (m * k + k * n) as u64, "one byte per packed code");
+        assert_eq!(cost.bytes_written, 4 * (m * n) as u64);
+        // Same totals at any thread count (merged-charge parity).
+        let (_, c1) =
+            acct::measure(|| with_threads(1, || matmul_q8(&ac, 0.1, 0.0, &bc, 0.2, -1.0, m, k, n)));
+        assert_eq!(c1, cost);
     }
 
     #[test]
@@ -930,7 +1489,7 @@ mod tests {
         assert!(caught.is_err(), "worker panic must reach the caller");
         // The pool must still be serviceable afterwards.
         let b = sparse_random(4, 6, 2);
-        let got = with_threads(4, || matmul(&a, &b));
+        let got = with_kernel(Kernel::Scalar, || with_threads(4, || matmul(&a, &b)));
         assert_eq!(got.data(), a.matmul(&b).data());
     }
 
@@ -939,7 +1498,7 @@ mod tests {
         let a = sparse_random(4, 3, 21);
         let b = sparse_random(3, 5, 22);
         let rec = dl_obs::TimelineRecorder::new();
-        let traced = with_recorder(&rec, || matmul(&a, &b));
+        let traced = with_kernel(Kernel::Scalar, || with_recorder(&rec, || matmul(&a, &b)));
         assert_eq!(traced.data(), a.matmul(&b).data());
         let events: Vec<_> = rec
             .events()
@@ -957,7 +1516,7 @@ mod tests {
         // NullRecorder: enabled() is false, so nothing is recorded and no
         // Fields are built.
         let null = dl_obs::NullRecorder::new();
-        let quiet = with_recorder(&null, || matmul(&a, &b));
+        let quiet = with_kernel(Kernel::Scalar, || with_recorder(&null, || matmul(&a, &b)));
         assert_eq!(quiet.data(), traced.data());
     }
 }
